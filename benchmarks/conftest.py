@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one table/figure of the paper (printing the
+paper-style rows) while pytest-benchmark times the cold run.  Campaigns
+inside one benchmark run are memoized per-process, so a single timed
+round reflects the real cost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault(
+    "REPRO_CACHE",
+    str(Path(__file__).resolve().parent.parent / ".cache" / "repro-weights"),
+)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time exactly one cold execution of ``fn`` and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def pytest_collection_modifyitems(config, items):
+    # Benchmarks live here; plain `pytest benchmarks/` should still work
+    # without the tests/ conftest.
+    del config, items

@@ -1,0 +1,57 @@
+"""Quickstart: inject soft errors into a DNN and measure SDC rates.
+
+Runs a small datapath fault-injection campaign on the trained ConvNet
+(CIFAR-10-like task) in the FLOAT16 format, prints the four SDC-class
+probabilities with confidence intervals, and converts the SDC-1 rate into
+an Eyeriss-16nm datapath FIT rate (paper Equation 1).
+
+Run:  python examples/quickstart.py [--trials 500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.accel import EYERISS_16NM, DatapathModel
+from repro.core import CampaignSpec, datapath_fit, run_campaign
+from repro.dtypes import get_dtype
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=500)
+    parser.add_argument("--network", default="ConvNet")
+    parser.add_argument("--dtype", default="FLOAT16")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args()
+
+    print(f"Injecting {args.trials} single-bit datapath faults into "
+          f"{args.network} ({args.dtype})...")
+    spec = CampaignSpec(
+        network=args.network,
+        dtype=args.dtype,
+        target="datapath",
+        n_trials=args.trials,
+        seed=2017,
+    )
+    result = run_campaign(spec, jobs=args.jobs)
+
+    rows = []
+    for cls, rate in result.sdc_rates().items():
+        label = {"sdc1": "SDC-1", "sdc5": "SDC-5", "sdc10": "SDC-10%", "sdc20": "SDC-20%"}[cls]
+        rows.append([label, str(rate)])
+    print()
+    print(format_table(["outcome class", "probability (95% CI)"], rows,
+                       title=f"{args.network} / {args.dtype} datapath faults"))
+    print(f"\nfaults masked before the output: {result.masked_fraction:.1%}")
+
+    dtype = get_dtype(args.dtype)
+    dp = DatapathModel(n_pes=EYERISS_16NM.n_pes, data_width=dtype.width)
+    fit = sum(c.fit for c in datapath_fit(dp, {"datapath": result.sdc_rate().p}))
+    print(f"projected Eyeriss-16nm datapath FIT rate: {fit:.4g} "
+          f"({dp.total_latch_bits:,} latch bits, Eq. 1)")
+
+
+if __name__ == "__main__":
+    main()

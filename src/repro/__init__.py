@@ -1,0 +1,20 @@
+"""repro — reproduction of Li et al., "Understanding Error Propagation in
+Deep Learning Neural Network (DNN) Accelerators and Applications" (SC'17).
+
+The package implements, from scratch:
+
+- bit-exact numeric formats (``repro.dtypes``),
+- a NumPy DNN inference + training engine (``repro.nn``),
+- the paper's four networks with synthetic calibrated weights (``repro.zoo``),
+- the canonical accelerator datapath and the Eyeriss buffer
+  microarchitecture (``repro.accel``),
+- the fault-injection framework, SDC/FIT analysis and both protection
+  techniques — symptom-based error detectors and selective latch
+  hardening (``repro.core``),
+- and one experiment module per table/figure of the paper
+  (``repro.experiments``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,54 @@
+"""Accelerator hardware models: datapath latches, buffers, Eyeriss, reuse."""
+
+from repro.accel.buffers import FAULT_SCOPES, BufferSpec
+from repro.accel.dataflow import ConvReuseStats, analyze_conv_reuse, network_reuse_report
+from repro.accel.datapath import LATCH_CLASSES, DatapathModel, LatchClass
+from repro.accel.occupancy import LayerExposure, OccupancyModel, build_occupancy
+from repro.accel.mapping import (
+    ArrayShape,
+    MappingReport,
+    array_shape_for,
+    map_conv_layer,
+    map_network,
+)
+from repro.accel.eyeriss import (
+    EYERISS_16NM,
+    EYERISS_65NM,
+    EyerissConfig,
+    scale_config,
+    table7_rows,
+)
+from repro.accel.reuse import (
+    ACCELERATOR_PROFILES,
+    AcceleratorProfile,
+    ReuseKind,
+    table1_rows,
+)
+
+__all__ = [
+    "FAULT_SCOPES",
+    "BufferSpec",
+    "ConvReuseStats",
+    "analyze_conv_reuse",
+    "network_reuse_report",
+    "LATCH_CLASSES",
+    "DatapathModel",
+    "LatchClass",
+    "LayerExposure",
+    "OccupancyModel",
+    "build_occupancy",
+    "ArrayShape",
+    "MappingReport",
+    "array_shape_for",
+    "map_conv_layer",
+    "map_network",
+    "EYERISS_16NM",
+    "EYERISS_65NM",
+    "EyerissConfig",
+    "scale_config",
+    "table7_rows",
+    "ACCELERATOR_PROFILES",
+    "AcceleratorProfile",
+    "ReuseKind",
+    "table1_rows",
+]

@@ -1,0 +1,85 @@
+"""Buffer components of DNN accelerators and their fault semantics.
+
+The paper separates buffer faults from datapath faults because buffered
+values are *read many times* within their residency window, spreading a
+single upset to many MACs (section 2.2).  Each buffer class carries a
+``fault_scope`` tag that tells the injector how far one corrupted entry
+spreads:
+
+=================  ==============================================================
+fault scope        spread of one corrupted bit
+=================  ==============================================================
+``layer_weight``   a weight used by every MAC of the layer invocation
+                   (Filter SRAM: weights stay resident for the whole layer)
+``row_activation`` an ifmap value consumed by every window in one fmap row
+                   (Img REG: "a faulty value in Img REG will only affect a
+                   single row of fmap")
+``next_layer``     an inter-layer ACT read by all consumers in the next layer
+                   (Global Buffer: ofmaps stay resident during the whole next
+                   layer)
+``single_read``    one partial sum read once by the next accumulation
+                   (PSum REG)
+=================  ==============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BufferSpec", "FAULT_SCOPES"]
+
+#: Valid fault-scope tags (see module docstring).
+FAULT_SCOPES = ("layer_weight", "row_activation", "next_layer", "single_read")
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One buffer component of an accelerator.
+
+    Attributes:
+        name: Component name (e.g. ``"Filter SRAM"``).
+        kbytes_per_instance: Capacity of one instance in KB.
+        instances: Number of instances (1 for shared structures, one per
+            PE for local scratchpads).
+        fault_scope: How one corrupted entry spreads (see module doc).
+        description: Role of the buffer in the dataflow.
+    """
+
+    name: str
+    kbytes_per_instance: float
+    instances: int
+    fault_scope: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fault_scope not in FAULT_SCOPES:
+            raise ValueError(
+                f"{self.name}: fault_scope {self.fault_scope!r} not in {FAULT_SCOPES}"
+            )
+        if self.kbytes_per_instance <= 0 or self.instances < 1:
+            raise ValueError(f"{self.name}: invalid size/instances")
+
+    @property
+    def total_kbytes(self) -> float:
+        """Aggregate capacity across instances in KB."""
+        return self.kbytes_per_instance * self.instances
+
+    @property
+    def total_bits(self) -> float:
+        """Aggregate capacity in bits."""
+        return self.total_kbytes * 1024 * 8
+
+    @property
+    def size_mbit(self) -> float:
+        """Aggregate capacity in megabits (for Eq. 1)."""
+        return self.total_bits / 1e6
+
+    def scaled(self, size_factor: float, instance_factor: float) -> "BufferSpec":
+        """Return a technology-scaled copy (Table 7 projection)."""
+        return BufferSpec(
+            self.name,
+            self.kbytes_per_instance * size_factor,
+            round(self.instances * instance_factor),
+            self.fault_scope,
+            self.description,
+        )

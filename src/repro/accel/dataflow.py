@@ -1,0 +1,80 @@
+"""Analytical reuse model of the row-stationary dataflow.
+
+The injector's buffer-fault scopes (:mod:`repro.accel.buffers`) follow
+from how long each datum is resident and how many MACs read it.  This
+module derives those counts per convolution layer — how often one weight,
+one ifmap pixel or one partial sum is consumed — matching the qualitative
+analysis of paper section 5.2.1 ("a faulty value in Img REG will only
+affect a single row of fmap and only the next accumulation operation if
+in PSum REG").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import Conv2D
+from repro.nn.network import Network
+
+__all__ = ["ConvReuseStats", "analyze_conv_reuse", "network_reuse_report"]
+
+
+@dataclass(frozen=True)
+class ConvReuseStats:
+    """Reuse counts for one convolution layer under row-stationary flow.
+
+    Attributes:
+        layer: Layer name.
+        weight_uses: MACs consuming one resident weight during the layer
+            (its Filter-SRAM residency): one per output pixel of its
+            output channel.
+        image_row_uses: MACs consuming one ifmap value during its Img-REG
+            residency (one output row): horizontal window overlap times
+            the number of filters reading the fmap.
+        image_total_uses: Total MACs consuming one ifmap value across the
+            layer (the Global-Buffer residency scope).
+        psum_uses: Reads of one partial sum (always 1: consumed by the
+            next accumulation).
+        chain_length: MAC steps accumulated into one output element.
+    """
+
+    layer: str
+    weight_uses: int
+    image_row_uses: int
+    image_total_uses: int
+    psum_uses: int
+    chain_length: int
+
+
+def _window_cover(kernel: int, stride: int) -> int:
+    """Max number of window positions along one axis covering one pixel."""
+    return max(1, (kernel + stride - 1) // stride)
+
+
+def analyze_conv_reuse(layer: Conv2D, in_shape: tuple[int, int, int]) -> ConvReuseStats:
+    """Compute reuse counts for ``layer`` on an input of ``in_shape``.
+
+    Args:
+        layer: Convolution layer.
+        in_shape: Unbatched input shape ``(c, h, w)``.
+    """
+    _, oh, ow = layer.out_shape(in_shape)
+    cover = _window_cover(layer.kernel, layer.stride)
+    return ConvReuseStats(
+        layer=layer.name,
+        weight_uses=oh * ow,
+        image_row_uses=cover * layer.out_channels,
+        image_total_uses=cover * cover * layer.out_channels,
+        psum_uses=1,
+        chain_length=layer.chain_length(in_shape),
+    )
+
+
+def network_reuse_report(network: Network) -> list[ConvReuseStats]:
+    """Per-convolution-layer reuse statistics for a network."""
+    stats = []
+    for i in network.mac_layer_indices():
+        layer = network.layers[i]
+        if isinstance(layer, Conv2D):
+            stats.append(analyze_conv_reuse(layer, network.shapes[i]))
+    return stats

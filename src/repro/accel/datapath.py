@@ -1,0 +1,91 @@
+"""Canonical DNN-accelerator datapath model (paper Figure 1b).
+
+Every surveyed accelerator computes MACs on an array of processing
+engines whose ALU is a multiplier feeding an adder.  The paper abstracts
+the datapath fault sites as the *minimum set of latches* needed to
+implement that ALU; per PE and per data width ``w`` these are:
+
+==================  ====  =====================================================
+latch class         bits  role (what a bit flip corrupts)
+==================  ====  =====================================================
+``weight_operand``  w     the weight entering the multiplier
+``input_operand``   w     the ifmap activation entering the multiplier
+``product``         w     the multiplier output entering the adder
+``psum``            w     the running partial sum entering the adder
+``accumulator``     w     the adder output written back to the psum register
+==================  ====  =====================================================
+
+Datapath faults are read **once**: the corrupted latch value feeds exactly
+one MAC step of one output element (section 2.2), unlike buffer faults
+which spread through reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LatchClass", "LATCH_CLASSES", "DatapathModel"]
+
+
+@dataclass(frozen=True)
+class LatchClass:
+    """One class of datapath latch.
+
+    Attributes:
+        name: Latch-class identifier (see module docstring).
+        words: Latched words of datapath width per PE.
+        description: Human-readable role.
+    """
+
+    name: str
+    words: int
+    description: str
+
+
+#: The canonical per-PE latch inventory of Figure 1b.
+LATCH_CLASSES: tuple[LatchClass, ...] = (
+    LatchClass("weight_operand", 1, "weight operand register of the multiplier"),
+    LatchClass("input_operand", 1, "activation operand register of the multiplier"),
+    LatchClass("product", 1, "multiplier output register"),
+    LatchClass("psum", 1, "partial-sum operand register of the adder"),
+    LatchClass("accumulator", 1, "adder output / accumulation register"),
+)
+
+
+@dataclass(frozen=True)
+class DatapathModel:
+    """Latch population of a PE array.
+
+    Args:
+        n_pes: Number of processing engines.
+        data_width: Datapath width in bits (the data type's width).
+    """
+
+    n_pes: int
+    data_width: int
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1 or self.data_width < 1:
+            raise ValueError("n_pes and data_width must be positive")
+
+    @property
+    def latch_bits_per_pe(self) -> int:
+        """Total latch bits in one PE's ALU."""
+        return sum(lc.words for lc in LATCH_CLASSES) * self.data_width
+
+    @property
+    def total_latch_bits(self) -> int:
+        """Total datapath latch bits across the PE array."""
+        return self.latch_bits_per_pe * self.n_pes
+
+    def bits_of(self, latch_name: str) -> int:
+        """Total bits of one latch class across the array."""
+        for lc in LATCH_CLASSES:
+            if lc.name == latch_name:
+                return lc.words * self.data_width * self.n_pes
+        raise KeyError(f"unknown latch class {latch_name!r}")
+
+    @property
+    def size_mbit(self) -> float:
+        """Datapath latch population in megabits (for Eq. 1)."""
+        return self.total_latch_bits / 1e6

@@ -1,0 +1,167 @@
+"""Row-stationary mapping of convolution layers onto the Eyeriss PE array.
+
+The buffer-fault scopes in :mod:`repro.accel.buffers` summarize *what* a
+corrupted entry reaches; this module models *why*, by actually mapping a
+layer onto the physical array the way Eyeriss's row-stationary dataflow
+does (Chen et al., ISCA'16):
+
+- a logical **PE set** of ``R x E`` engines (filter rows x output rows)
+  computes one (input-channel, filter) pair; filter rows stay put
+  (weight reuse), ifmap rows slide diagonally (image reuse) and partial
+  sums flow up each column (output reuse);
+- the physical array fits ``floor(H/R) * floor(W/E_t)`` sets per pass
+  (with the output extent strip-mined to ``E_t`` columns when E exceeds
+  the array width), and the layer needs however many passes it takes to
+  cover every (channel, filter, strip) combination;
+- from the mapping follow utilization, an ideal cycle count, and the
+  residency length of each buffered datum — the quantities that make
+  Filter-SRAM faults whole-layer events but PSum-REG faults single-read
+  events.
+
+The physical array shape is Eyeriss's 12 x 14 at 65nm, widened
+proportionally for the 16nm projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.eyeriss import EyerissConfig
+from repro.nn.layers import Conv2D
+from repro.nn.network import Network
+
+__all__ = ["ArrayShape", "MappingReport", "array_shape_for", "map_conv_layer", "map_network"]
+
+#: Eyeriss's physical PE grid at 65nm.
+BASE_ARRAY = (12, 14)  # (height = filter-row axis, width = output-row axis)
+
+
+@dataclass(frozen=True)
+class ArrayShape:
+    """Physical PE grid dimensions."""
+
+    height: int
+    width: int
+
+    @property
+    def pes(self) -> int:
+        return self.height * self.width
+
+
+def array_shape_for(config: EyerissConfig) -> ArrayShape:
+    """Derive the PE grid of a (possibly scaled) Eyeriss configuration.
+
+    Scaling multiplies the PE count; the grid grows by the same factor,
+    split as evenly as possible across the two axes (x8 -> x4 height,
+    x2 width: 48 x 28 = 1,344 PEs at 16nm).
+    """
+    base_h, base_w = BASE_ARRAY
+    factor = config.n_pes // (base_h * base_w)
+    if factor * base_h * base_w != config.n_pes or factor < 1:
+        raise ValueError(f"PE count {config.n_pes} is not a multiple of the base array")
+    h_mult = 1
+    while h_mult * h_mult * 2 <= factor:
+        h_mult *= 2
+    w_mult = factor // h_mult
+    return ArrayShape(base_h * h_mult, base_w * w_mult)
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """Row-stationary mapping of one convolution layer.
+
+    Attributes:
+        layer: Layer name.
+        pe_set: Logical set shape ``(R, E_t)`` (filter rows x output-row
+            strip width).
+        sets_per_pass: Logical sets resident simultaneously.
+        passes: Array reloads needed to cover channels x filters x strips.
+        utilization: Fraction of physical PEs doing work during a pass.
+        cycles: Ideal MAC-limited cycle count for the layer.
+        weight_residency_cycles: How long one Filter-SRAM word stays
+            live (the whole layer: weights are reloaded only per layer).
+        img_residency_cycles: How long one Img-REG word stays live (one
+            row sweep).
+        psum_residency_cycles: How long one PSum-REG word stays live
+            (one cross-row accumulation).
+    """
+
+    layer: str
+    pe_set: tuple[int, int]
+    sets_per_pass: int
+    passes: int
+    utilization: float
+    cycles: int
+    weight_residency_cycles: int
+    img_residency_cycles: int
+    psum_residency_cycles: int
+
+
+def map_conv_layer(
+    layer: Conv2D, in_shape: tuple[int, int, int], array: ArrayShape
+) -> MappingReport:
+    """Map one convolution layer onto the PE array.
+
+    Args:
+        layer: Convolution layer.
+        in_shape: Unbatched input fmap shape ``(c, h, w)``.
+        array: Physical PE grid.
+
+    Raises:
+        ValueError: when a filter is taller than the array (cannot be
+            mapped without folding filter rows, which Eyeriss does not
+            do for the layer sizes considered here).
+    """
+    c, h, w = in_shape
+    _, oh, ow = layer.out_shape(in_shape)
+    r = layer.kernel
+    if r > array.height:
+        raise ValueError(f"{layer.name}: filter rows {r} exceed array height {array.height}")
+
+    e_t = min(oh, array.width)  # output-row strip width
+    strips = -(-oh // e_t)  # ceil
+    vertical_sets = array.height // r
+    horizontal_sets = array.width // e_t
+    sets_per_pass = max(1, vertical_sets * horizontal_sets)
+
+    logical_sets = layer.in_channels * layer.out_channels * strips
+    passes = -(-logical_sets // sets_per_pass)
+
+    used_pes = min(logical_sets, sets_per_pass) * r * e_t
+    utilization = used_pes / array.pes
+
+    # One PE performs a 1-D convolution of a W-wide ifmap row per output
+    # row it serves: ~ow MACs per row pair.  A pass therefore takes
+    # ~ow * r cycles (r taps per output pixel, pipelined across the set),
+    # and the layer's ideal cycle count is MAC-limited:
+    macs = layer.mac_count(in_shape)
+    cycles = max(1, -(-macs // max(1, int(array.pes * utilization))))
+
+    pass_cycles = max(1, cycles // passes)
+    return MappingReport(
+        layer=layer.name,
+        pe_set=(r, e_t),
+        sets_per_pass=sets_per_pass,
+        passes=passes,
+        utilization=utilization,
+        cycles=cycles,
+        # Weights are fetched once per layer and stay in the Filter SRAM
+        # across every pass (weight reuse): whole-layer residency.
+        weight_residency_cycles=cycles,
+        # An ifmap row slides through the Img REG during one row sweep.
+        img_residency_cycles=max(1, min(pass_cycles, ow * r)),
+        # A partial sum lives from its first to its last accumulation
+        # within one column of the set: r cross-row additions.
+        psum_residency_cycles=r,
+    )
+
+
+def map_network(network: Network, config: EyerissConfig) -> list[MappingReport]:
+    """Map every convolution layer of ``network`` onto ``config``'s array."""
+    array = array_shape_for(config)
+    reports = []
+    for i in network.mac_layer_indices():
+        layer = network.layers[i]
+        if isinstance(layer, Conv2D):
+            reports.append(map_conv_layer(layer, network.shapes[i], array))
+    return reports

@@ -1,0 +1,164 @@
+"""Time-weighted buffer occupancy: where and when a strike hits live data.
+
+A particle strike lands uniformly in space (buffer bits) and time
+(execution cycles).  The probability that it corrupts *live* data
+belonging to layer L is therefore proportional to
+
+    exposure(component, L) = live_bits(component, L) x cycles(L)
+
+— the bit-cycles of residency.  This module computes those exposures
+from the row-stationary mapping (:mod:`repro.accel.mapping`), giving
+
+- per-layer sampling weights for buffer fault injection that reflect the
+  *schedule* rather than just static data sizes (a slow layer keeps its
+  weights exposed longer), and
+- a per-component ``live_fraction``: the average share of the buffer
+  holding live data at all.  The paper conditions SDC probability on the
+  fault being activated; strikes on dead bits are unactivated, so the
+  live fraction is the principled de-rating factor between a raw-FIT
+  calculation over the full capacity and the activated-fault SDC
+  probabilities the campaigns measure.
+
+Fully-connected layers do not map onto the row-stationary PE sets; they
+are modelled as weight-streaming matrix-vector products (one MAC per PE
+per cycle, weights resident only while streaming through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.eyeriss import EyerissConfig
+from repro.accel.mapping import array_shape_for, map_conv_layer
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Network
+
+__all__ = ["LayerExposure", "OccupancyModel", "build_occupancy"]
+
+
+@dataclass(frozen=True)
+class LayerExposure:
+    """Bit-cycle exposure of one layer's data in each buffer class."""
+
+    layer_index: int
+    layer_name: str
+    cycles: int
+    #: live bit-cycles per component name
+    exposure: dict[str, float]
+
+
+@dataclass
+class OccupancyModel:
+    """Per-layer, per-component live-data exposure of one network."""
+
+    network_name: str
+    config: EyerissConfig
+    layers: list[LayerExposure]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(l.cycles for l in self.layers)
+
+    def layer_weights(self, component: str) -> dict[int, float]:
+        """Sampling weights (layer index -> exposure share) for faults in
+        ``component``; empty when the component is never live."""
+        weights = {
+            l.layer_index: l.exposure.get(component, 0.0)
+            for l in self.layers
+            if l.exposure.get(component, 0.0) > 0
+        }
+        total = sum(weights.values())
+        return {k: v / total for k, v in weights.items()} if total else {}
+
+    def live_fraction(self, component: str) -> float:
+        """Average fraction of the component's bits holding live data."""
+        spec = self.config.buffer_named(component)
+        capacity_cycles = spec.total_bits * max(1, self.total_cycles)
+        live = sum(l.exposure.get(component, 0.0) for l in self.layers)
+        return min(1.0, live / capacity_cycles)
+
+    def derated_sdc(self, component: str, measured_sdc: float) -> float:
+        """Whole-buffer SDC probability: measured activated-fault SDC
+        times the probability the strike hit live data at all."""
+        if not 0.0 <= measured_sdc <= 1.0:
+            raise ValueError("measured_sdc must be in [0, 1]")
+        return measured_sdc * self.live_fraction(component)
+
+
+def _conv_exposure(
+    layer: Conv2D,
+    in_shape: tuple[int, int, int],
+    config: EyerissConfig,
+    data_width: int,
+) -> tuple[int, dict[str, float]]:
+    report = map_conv_layer(layer, in_shape, array_shape_for(config))
+    out_shape = layer.out_shape(in_shape)
+    in_bits = int(_prod(in_shape)) * data_width
+    out_bits = int(_prod(out_shape)) * data_width
+    weight_bits = int(layer.weight.size) * data_width
+
+    gb = config.global_buffer.total_bits
+    fs = config.filter_sram.total_bits
+    img = config.img_reg.total_bits
+    ps = config.psum_reg.total_bits
+
+    active_pes = config.n_pes * report.utilization
+    exposure = {
+        # ifmaps + ofmaps staged in the global buffer for the layer.
+        "Global Buffer": min(in_bits + out_bits, gb) * report.cycles,
+        # weights resident in the filter scratchpads all layer long.
+        "Filter SRAM": min(weight_bits, fs) * report.cycles,
+        # sliding ifmap rows: one window per active PE, live during the
+        # row sweep each pass.
+        "Img REG": min(active_pes * layer.kernel * data_width, img)
+        * min(report.cycles, report.img_residency_cycles * report.passes),
+        # one partial sum per active PE, live for R accumulations.
+        "PSum REG": min(active_pes * data_width, ps) * report.cycles,
+    }
+    return report.cycles, exposure
+
+
+def _fc_exposure(
+    layer: Dense,
+    in_shape: tuple[int, ...],
+    config: EyerissConfig,
+    data_width: int,
+) -> tuple[int, dict[str, float]]:
+    macs = layer.mac_count(in_shape)
+    cycles = max(1, macs // config.n_pes)
+    in_bits = int(_prod(in_shape)) * data_width
+    out_bits = layer.out_features * data_width
+    weight_bits = int(layer.weight.size) * data_width
+    gb = config.global_buffer.total_bits
+    fs = config.filter_sram.total_bits
+    exposure = {
+        "Global Buffer": min(in_bits + out_bits, gb) * cycles,
+        # FC weights stream: at any instant only a scratchpad-full is live.
+        "Filter SRAM": min(weight_bits, fs) * cycles,
+        "Img REG": 0.0,  # no sliding-window reuse in matrix-vector
+        "PSum REG": min(config.n_pes * data_width, config.psum_reg.total_bits) * cycles,
+    }
+    return cycles, exposure
+
+
+def _prod(shape) -> float:
+    out = 1
+    for s in shape:
+        out *= int(s)
+    return out
+
+
+def build_occupancy(network: Network, config: EyerissConfig) -> OccupancyModel:
+    """Compute the occupancy model of ``network`` on ``config``."""
+    layers: list[LayerExposure] = []
+    width = config.data_width
+    for i in network.mac_layer_indices():
+        layer = network.layers[i]
+        if isinstance(layer, Conv2D):
+            cycles, exposure = _conv_exposure(layer, network.shapes[i], config, width)
+        elif isinstance(layer, Dense):
+            cycles, exposure = _fc_exposure(layer, network.shapes[i], config, width)
+        else:  # pragma: no cover - no other MAC layers exist
+            continue
+        layers.append(LayerExposure(i, layer.name, cycles, exposure))
+    return OccupancyModel(network.name, config, layers)

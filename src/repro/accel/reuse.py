@@ -1,0 +1,95 @@
+"""Data-reuse taxonomy of DNN accelerators (paper Table 1).
+
+The paper classifies dataflow localities into weight reuse, image reuse
+and output reuse, and surveys which of nine accelerator families exploit
+which.  This module encodes that taxonomy as queryable data; Eyeriss is
+the only surveyed design exploiting all three, which is why it anchors
+the buffer-fault case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReuseKind", "AcceleratorProfile", "ACCELERATOR_PROFILES", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class ReuseKind:
+    """One locality class of DNN dataflows."""
+
+    name: str
+    description: str
+
+
+WEIGHT_REUSE = ReuseKind(
+    "weight", "kernel weights reused across every window of each ifmap"
+)
+IMAGE_REUSE = ReuseKind(
+    "image", "ifmap values reused across every kernel applied to the fmap"
+)
+OUTPUT_REUSE = ReuseKind(
+    "output", "partial sums buffered and consumed on-PE without write-back"
+)
+
+
+@dataclass(frozen=True)
+class AcceleratorProfile:
+    """Reuse profile of one surveyed accelerator family (Table 1 row)."""
+
+    name: str
+    weight_reuse: bool
+    image_reuse: bool
+    output_reuse: bool
+
+    @property
+    def reuse_kinds(self) -> tuple[str, ...]:
+        """Names of exploited reuse classes."""
+        out = []
+        if self.weight_reuse:
+            out.append(WEIGHT_REUSE.name)
+        if self.image_reuse:
+            out.append(IMAGE_REUSE.name)
+        if self.output_reuse:
+            out.append(OUTPUT_REUSE.name)
+        return tuple(out)
+
+    @property
+    def local_buffer_classes(self) -> tuple[str, ...]:
+        """Eyeriss-style buffer classes implied by the exploited reuses.
+
+        These per-PE structures are exactly the ones whose faults spread
+        through reuse (Table 8): weight reuse implies a filter
+        scratchpad, image reuse an ifmap register file, output reuse a
+        partial-sum register file.
+        """
+        mapping = {
+            "weight": "Filter SRAM",
+            "image": "Img REG",
+            "output": "PSum REG",
+        }
+        return tuple(mapping[k] for k in self.reuse_kinds)
+
+
+#: Table 1 of the paper: nine accelerator families and their dataflow reuse.
+ACCELERATOR_PROFILES: tuple[AcceleratorProfile, ...] = (
+    AcceleratorProfile("Zhang et al. / DianNao / DaDianNao", False, False, False),
+    AcceleratorProfile(
+        "Chakradhar / Sriram / Sankaradas / nn-X / K-Brain / Origami", True, False, False
+    ),
+    AcceleratorProfile("Gupta et al. / ShiDianNao / Peemen et al.", False, False, True),
+    AcceleratorProfile("Eyeriss", True, True, True),
+)
+
+
+def table1_rows() -> list[dict]:
+    """Regenerate Table 1: reuse classes per accelerator family."""
+    return [
+        {
+            "accelerator": p.name,
+            "weight_reuse": p.weight_reuse,
+            "image_reuse": p.image_reuse,
+            "output_reuse": p.output_reuse,
+        }
+        for p in ACCELERATOR_PROFILES
+    ]

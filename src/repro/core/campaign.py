@@ -1,0 +1,345 @@
+"""Fault-injection campaign runner.
+
+A campaign is N independent trials of: sample a fault site, inject it
+into one inference, classify the outcome (section 4.6), optionally
+evaluate the symptom detector on the faulty run.  Trials are seeded
+individually (reproducible regardless of parallelism) and can fan out
+over a process pool.
+
+The aggregation API mirrors the paper's figures: SDC probability overall
+(Figure 3), by bit position (Figure 4), by layer position (Figure 6), by
+latch class or buffer component, with 95% confidence intervals
+throughout.  SDC probabilities are over all injections: every sampled
+fault corrupts a live value, so every trial is "activated" in the
+paper's sense, and masked trials count as non-SDC outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.core.detectors import SymptomDetector, learn_detector
+from repro.core.fault import (
+    DATAPATH_LATCHES,
+    sample_buffer_fault,
+    sample_datapath_fault,
+)
+from repro.core.injector import inject_buffer, inject_datapath
+from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
+from repro.core.stats import RateEstimate
+from repro.dtypes.registry import get_dtype
+from repro.utils.parallel import map_trials
+from repro.utils.rng import child_rng
+from repro.zoo.registry import eval_inputs, get_network
+
+__all__ = ["CampaignSpec", "TrialRecord", "CampaignResult", "run_campaign"]
+
+#: Campaign targets: the datapath, or one buffer reuse scope.
+TARGETS = ("datapath", "layer_weight", "row_activation", "next_layer", "single_read")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Configuration of one fault-injection campaign.
+
+    Attributes:
+        network: Zoo network name.
+        dtype: Data-type name (Table 3).
+        target: ``"datapath"`` or a buffer scope (Table 8 components map
+            to scopes via :mod:`repro.accel.buffers`).
+        n_trials: Number of injections.
+        scale: Network scale profile (``"reduced"`` / ``"full"``).
+        n_inputs: Distinct golden inputs rotated across trials.
+        seed: Root seed; every trial derives its own stream.
+        latch: Pin the datapath latch class (None = uniform).
+        bit: Pin the flipped bit position (None = uniform).
+        burst: Adjacent bits flipped per fault (1 = the paper's
+            single-event-upset model; >1 models multi-cell upsets).
+        layer_index: Pin the victim MAC layer (None = MAC-weighted).
+        with_detection: Evaluate the symptom detector on each trial.
+        sed_cushion: Detector range cushion (paper: 0.10).
+        sed_learn_inputs: Fault-free inputs used by the SED learning
+            phase; enough to cover the eval distribution (golden runs
+            must not trip the detector).
+        detector_kind: ``"sed"`` (symptom-based, the paper's proposal) or
+            ``"dmr"`` (bit-wise duplicate-and-compare baseline, which
+            flags *every* activated fault — the paper's section-5.1.4
+            argument for why DMR over-detects).
+        record_propagation: Track whether the corruption survives to the
+            network's final ACT fmap (Table 5's bit-wise SDC).
+        storage_dtype: Optional reduced-precision buffer storage format
+            (the Proteus protocol of section 6.1): fmaps/weights at rest
+            hold the narrow representation, the datapath computes in
+            ``dtype``, and buffer flips land in the narrow word.
+        occupancy_weighted: Draw buffer-fault victim layers from the
+            row-stationary schedule's bit-cycle exposures (strike uniform
+            in space and time) instead of static data sizes.
+    """
+
+    network: str
+    dtype: str
+    target: str = "datapath"
+    n_trials: int = 300
+    scale: str = "reduced"
+    n_inputs: int = 3
+    seed: int = 0
+    latch: str | None = None
+    bit: int | None = None
+    burst: int = 1
+    layer_index: int | None = None
+    with_detection: bool = False
+    sed_cushion: float = 0.10
+    sed_learn_inputs: int = 16
+    detector_kind: str = "sed"
+    record_propagation: bool = False
+    storage_dtype: str | None = None
+    occupancy_weighted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(f"target must be one of {TARGETS}, got {self.target!r}")
+        if self.n_trials < 0 or self.n_inputs < 1:
+            raise ValueError("n_trials must be >= 0 and n_inputs >= 1")
+        if self.latch is not None and self.latch not in DATAPATH_LATCHES:
+            raise ValueError(f"unknown latch {self.latch!r}")
+        if self.detector_kind not in ("sed", "dmr"):
+            raise ValueError(f"unknown detector kind {self.detector_kind!r}")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One injection trial's fault coordinates and outcome."""
+
+    outcome: Outcome
+    bit: int
+    site: str  # latch class (datapath) or buffer scope
+    block: int  # paper-level layer position of the victim
+    value_before: float
+    value_after: float
+    detected: bool | None = None
+    reached_output: bool | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Trial records plus the paper-style aggregations."""
+
+    spec: CampaignSpec
+    records: list[TrialRecord] = field(default_factory=list)
+
+    # -- basic counts ----------------------------------------------------- #
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+    @property
+    def masked_fraction(self) -> float:
+        """Fraction of injections fully masked before the output
+        (the paper observes ~84% masked by POOL/ReLU, Table 5)."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.outcome.masked) / len(self.records)
+
+    # -- SDC rates ----------------------------------------------------------- #
+    def sdc_rate(self, sdc_class: str = "sdc1", records: list[TrialRecord] | None = None) -> RateEstimate:
+        """SDC probability over all injections, with 95% CI.
+
+        Every sampled fault corrupts a live value (it is activated by
+        construction), so the denominator is the full trial count;
+        masked trials are non-SDC outcomes (see repro.core.outcome).
+        """
+        if sdc_class not in SDC_CLASSES:
+            raise KeyError(f"unknown SDC class {sdc_class!r}")
+        pool = records if records is not None else self.records
+        flags = [r.outcome.flag(sdc_class) for r in pool]
+        known = [f for f in flags if f is not None]
+        return RateEstimate(successes=sum(known), n=len(known))
+
+    def sdc_rates(self) -> dict[str, RateEstimate]:
+        """All four SDC-class rates (Figure 3 bars for one config)."""
+        return {c: self.sdc_rate(c) for c in SDC_CLASSES}
+
+    def rate_by_bit(self, sdc_class: str = "sdc1") -> dict[int, RateEstimate]:
+        """SDC probability per flipped bit position (Figure 4)."""
+        bits = sorted({r.bit for r in self.records})
+        return {
+            b: self.sdc_rate(sdc_class, [r for r in self.records if r.bit == b])
+            for b in bits
+        }
+
+    def rate_by_block(self, sdc_class: str = "sdc1") -> dict[int, RateEstimate]:
+        """SDC probability per paper-level layer position (Figure 6)."""
+        blocks = sorted({r.block for r in self.records})
+        return {
+            blk: self.sdc_rate(sdc_class, [r for r in self.records if r.block == blk])
+            for blk in blocks
+        }
+
+    def rate_by_site(self, sdc_class: str = "sdc1") -> dict[str, RateEstimate]:
+        """SDC probability per latch class / buffer scope."""
+        sites = sorted({r.site for r in self.records})
+        return {
+            s: self.sdc_rate(sdc_class, [r for r in self.records if r.site == s])
+            for s in sites
+        }
+
+    def propagation_rate(self, records: list[TrialRecord] | None = None) -> RateEstimate:
+        """Fraction of injected faults whose corruption survives to the
+        final fmap (Table 5's bit-wise SDC)."""
+        pool = records if records is not None else self.records
+        flags = [r.reached_output for r in pool if r.reached_output is not None]
+        return RateEstimate(successes=sum(flags), n=len(flags))
+
+    def propagation_by_block(self) -> dict[int, RateEstimate]:
+        """Per-layer propagation rate (Table 5 columns)."""
+        blocks = sorted({r.block for r in self.records})
+        return {
+            blk: self.propagation_rate([r for r in self.records if r.block == blk])
+            for blk in blocks
+        }
+
+    # -- detector quality ----------------------------------------------------- #
+    def detection_quality(self, sdc_class: str = "sdc1"):
+        """Precision/recall of the symptom detector (Figure 8)."""
+        from repro.core.detectors import DetectorQuality
+
+        scored = [r for r in self.records if r.detected is not None]
+        tp = sum(1 for r in scored if r.detected and r.outcome.flag(sdc_class))
+        fp = sum(1 for r in scored if r.detected and not r.outcome.flag(sdc_class))
+        total_sdc = sum(1 for r in scored if r.outcome.flag(sdc_class))
+        return DetectorQuality(
+            true_positives=tp,
+            false_positives=fp,
+            total_sdc=total_sdc,
+            total_injected=len(scored),
+        )
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Pool trials of two campaigns (for multi-config aggregates)."""
+        return CampaignResult(spec=self.spec, records=self.records + other.records)
+
+
+class _CampaignTask:
+    """Per-worker task: builds the network/goldens once, runs one trial
+    per call.  Constructed lazily inside each worker process."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+        self.dtype = get_dtype(spec.dtype)
+        self.storage_dtype = get_dtype(spec.storage_dtype) if spec.storage_dtype else None
+        self.network = get_network(spec.network, spec.scale)
+        self.network.prepare(self.dtype)
+        inputs = eval_inputs(spec.network, spec.n_inputs, spec.scale, seed=100)
+        self.goldens = [
+            self.network.forward(
+                x, dtype=self.dtype, record=True, storage_dtype=self.storage_dtype
+            )
+            for x in inputs
+        ]
+        self.detector: SymptomDetector | None = None
+        if spec.with_detection and spec.detector_kind == "sed":
+            learn_x = eval_inputs(spec.network, spec.sed_learn_inputs, spec.scale, seed=200)
+            self.detector = learn_detector(
+                self.network, learn_x, dtype=self.dtype, cushion=spec.sed_cushion
+            )
+        self.occupancy = None
+        if spec.occupancy_weighted:
+            from repro.accel.eyeriss import EYERISS_16NM
+            from repro.accel.occupancy import build_occupancy
+
+            self.occupancy = build_occupancy(self.network, EYERISS_16NM)
+        self._final_act_layer = len(self.network.layers) - 1
+        if self.network.layers[-1].kind == "softmax":
+            self._final_act_layer -= 1
+
+    def _reached(self, golden, injection) -> bool | None:
+        if not injection.faulty_activations:
+            return False if injection.masked else None
+        # activations[j] = output of layer (resume_index + j - 1)
+        j = self._final_act_layer - injection.resume_index + 1
+        if j < 0 or j >= len(injection.faulty_activations):
+            return None
+        return not np.array_equal(
+            injection.faulty_activations[j],
+            golden.activations[self._final_act_layer + 1],
+        )
+
+    def __call__(self, trial: int) -> TrialRecord:
+        spec = self.spec
+        rng = child_rng(spec.seed, trial)
+        golden = self.goldens[trial % len(self.goldens)]
+        record = spec.with_detection or spec.record_propagation
+        if spec.target == "datapath":
+            fault = sample_datapath_fault(
+                self.network,
+                self.dtype,
+                rng,
+                latch=spec.latch,
+                bit=spec.bit,
+                layer_index=spec.layer_index,
+                burst=spec.burst,
+            )
+            injection = inject_datapath(
+                self.network, self.dtype, fault, golden, record=record,
+                storage_dtype=self.storage_dtype,
+            )
+            site = fault.latch
+            block = self.network.layers[fault.layer_index].block or 0
+            bit = fault.bit
+        else:
+            # Buffer flips land in the storage word (Proteus-aware).
+            fault_dtype = self.storage_dtype or self.dtype
+            fault = sample_buffer_fault(
+                self.network, spec.target, fault_dtype, rng, bit=spec.bit,
+                burst=spec.burst, occupancy=self.occupancy,
+            )
+            injection = inject_buffer(
+                self.network, self.dtype, fault, golden, record=record,
+                storage_dtype=self.storage_dtype,
+            )
+            site = fault.scope
+            block = self.network.layers[fault.layer_index].block or 0
+            bit = fault.bit
+        outcome = classify_outcome(
+            golden, injection.scores, self.network.has_confidence, masked=injection.masked
+        )
+        detected: bool | None = None
+        if spec.with_detection and spec.detector_kind == "dmr":
+            # Bit-wise duplicate-and-compare flags any architecturally
+            # visible mismatch, even those later masked by POOL/ReLU.
+            detected = not injection.masked
+        elif self.detector is not None:
+            detected = (
+                False
+                if injection.masked
+                else self.detector.scan(
+                    self.network, injection.faulty_activations, injection.resume_index
+                )
+            )
+        reached = self._reached(golden, injection) if spec.record_propagation else None
+        return TrialRecord(
+            outcome=outcome,
+            bit=bit,
+            site=site,
+            block=block,
+            value_before=injection.value_before,
+            value_after=injection.value_after,
+            detected=detected,
+            reached_output=reached,
+        )
+
+
+def run_campaign(spec: CampaignSpec, jobs: int | None = 1) -> CampaignResult:
+    """Execute a campaign, optionally across a process pool.
+
+    Trial ``i`` always uses the RNG stream ``child_rng(spec.seed, i)``,
+    so results are identical for any ``jobs`` value.
+    """
+    # functools.partial (not a lambda) so the factory pickles into workers.
+    records = map_trials(partial(_CampaignTask, spec), spec.n_trials, jobs=jobs)
+    return CampaignResult(spec=spec, records=list(records))

@@ -1,0 +1,150 @@
+"""Symptom-based Error Detectors (SED) — paper section 6.2.
+
+The detector exploits the paper's key observation (section 5.1.3): faults
+that cause SDCs push ACT values far outside the layer's fault-free range,
+while benign faults stay near the cluster around zero.
+
+**Learning phase**: profile fault-free per-layer value ranges on
+representative inputs and widen them by a 10% cushion.
+
+**Deployment phase**: at the end of each layer, while the layer's ofmap
+sits in the global buffer as the next layer's input, the host checks the
+values against the learned bounds asynchronously.  A value outside the
+bounds (or a non-finite value) raises a detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.nn.profiling import BlockRange, RangeProfile, profile_ranges
+
+__all__ = ["SymptomDetector", "DetectorQuality", "learn_detector"]
+
+
+@dataclass(frozen=True)
+class DetectorQuality:
+    """Precision/recall of a detector over a campaign (Figure 8).
+
+    The paper's definitions (section 6.2):
+
+    - precision = 1 - (benign faults flagged as SDC) / (faults injected)
+    - recall    = (SDC-causing faults detected) / (total SDC-causing faults)
+
+    ``standard_precision`` additionally reports the conventional
+    TP / (TP + FP) definition.
+    """
+
+    true_positives: int
+    false_positives: int
+    total_sdc: int
+    total_injected: int
+
+    @property
+    def precision(self) -> float:
+        """Paper-style precision."""
+        if self.total_injected == 0:
+            return 1.0
+        return 1.0 - self.false_positives / self.total_injected
+
+    @property
+    def recall(self) -> float:
+        if self.total_sdc == 0:
+            return 1.0
+        return self.true_positives / self.total_sdc
+
+    @property
+    def standard_precision(self) -> float:
+        """Conventional precision TP / (TP + FP)."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 1.0
+
+
+class SymptomDetector:
+    """Per-layer value-range detector for one network.
+
+    Args:
+        profile: Fault-free range profile (the learning-phase output).
+        cushion: Fractional widening of the learned ranges (paper: 0.10).
+    """
+
+    def __init__(self, profile: RangeProfile, cushion: float = 0.10):
+        if cushion < 0:
+            raise ValueError(f"cushion must be non-negative, got {cushion}")
+        self.network_name = profile.network
+        self.cushion = cushion
+        self._bounds = {b: r.with_cushion(cushion) for b, r in profile.ranges.items()}
+
+    def bounds(self, block: int) -> BlockRange:
+        """Detection bounds of one block (cushioned)."""
+        return self._bounds[block]
+
+    def check(self, block: int, values: np.ndarray) -> bool:
+        """True when ``values`` violate the block's bounds (detection)."""
+        bound = self._bounds.get(block)
+        if bound is None:
+            return False
+        return not bool(bound.contains(values).all())
+
+    def checkpoints(self, network: Network) -> dict[int, int]:
+        """Map layer index -> block for every detector checkpoint.
+
+        Checkpoints sit at block outputs (the fmap handed to the global
+        buffer); a terminal softmax is excluded (host-side).
+        """
+        last_of_block: dict[int, int] = {}
+        for i, layer in enumerate(network.layers):
+            if layer.block is not None and layer.kind != "softmax":
+                last_of_block[layer.block] = i
+        return {li: b for b, li in last_of_block.items()}
+
+    def scan(
+        self,
+        network: Network,
+        activations: list[np.ndarray],
+        start_layer: int,
+    ) -> bool:
+        """Scan a run's activations for any bound violation.
+
+        Args:
+            network: The network the activations came from.
+            activations: ``activations[0]`` is the input of layer
+                ``start_layer``; ``activations[j]`` the output of layer
+                ``start_layer + j - 1`` (the injector's resumed segment).
+            start_layer: First re-executed layer.
+
+        Returns:
+            True when any checkpoint at or after ``start_layer`` fires.
+        """
+        points = self.checkpoints(network)
+        for j in range(1, len(activations)):
+            li = start_layer + j - 1
+            block = points.get(li)
+            if block is not None and self.check(block, activations[j]):
+                return True
+        return False
+
+
+def learn_detector(
+    network: Network,
+    inputs: np.ndarray,
+    dtype=None,
+    cushion: float = 0.10,
+    scope: str = "output",
+) -> SymptomDetector:
+    """Run the SED learning phase.
+
+    Args:
+        network: Network to protect.
+        inputs: Representative fault-free inputs (the paper's "test
+            inputs"), shape ``(n, *input_shape)``.
+        dtype: Numeric format used during profiling (match deployment).
+        cushion: Range cushion (paper: 10%).
+        scope: Profiling scope; ``"output"`` profiles exactly what the
+            deployed detector checks (block outputs).
+    """
+    profile = profile_ranges(network, inputs, dtype=dtype, scope=scope)
+    return SymptomDetector(profile, cushion=cushion)

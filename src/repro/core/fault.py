@@ -1,0 +1,233 @@
+"""Fault-site descriptors and random fault sampling.
+
+The paper's fault model (section 4.3): transient single-event upsets —
+one bit flip per inference run — in either the datapath latches of a PE
+or a buffer entry.  Combinational logic, control logic and host/CPU/DRAM
+faults are out of scope.
+
+Sampling follows the paper's methodology: the fault lands on a random bit
+of a random latch/buffer entry at a random point of the execution, which
+translates to: MAC layer chosen proportionally to its share of MAC
+operations (for datapath and psum faults) or of resident data (for
+buffer faults), victim element uniform within the layer, MAC step
+uniform along the accumulation chain, bit uniform across the data width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.buffers import FAULT_SCOPES
+from repro.accel.occupancy import OccupancyModel
+from repro.dtypes.base import DataType
+from repro.nn.layers import Conv2D
+from repro.nn.network import Network
+
+__all__ = [
+    "DatapathFault",
+    "BufferFault",
+    "DATAPATH_LATCHES",
+    "sample_datapath_fault",
+    "sample_buffer_fault",
+]
+
+#: Latch classes of the canonical ALU (must match repro.accel.datapath).
+DATAPATH_LATCHES = ("weight_operand", "input_operand", "product", "psum", "accumulator")
+
+
+@dataclass(frozen=True)
+class DatapathFault:
+    """A single-bit upset in one PE latch, read by exactly one MAC step.
+
+    Attributes:
+        layer_index: Index of the victim MAC layer in ``network.layers``.
+        out_index: Coordinate of the output element whose chain is hit.
+        step: MAC step (0-based) at which the corrupted latch is read.
+        latch: Latch class (one of :data:`DATAPATH_LATCHES`).
+        bit: Lowest flipped bit position in the data word.
+        burst: Number of adjacent bits flipped (1 = single-event upset,
+            the paper's model; >1 models multi-cell upsets).
+    """
+
+    layer_index: int
+    out_index: tuple[int, ...]
+    step: int
+    latch: str
+    bit: int
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latch not in DATAPATH_LATCHES:
+            raise ValueError(f"unknown latch {self.latch!r}")
+        if self.step < 0 or self.bit < 0:
+            raise ValueError("step and bit must be non-negative")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class BufferFault:
+    """A single-bit upset in a buffer entry, spread through data reuse.
+
+    Attributes:
+        scope: Fault-spread scope (see :mod:`repro.accel.buffers`):
+            ``layer_weight`` / ``row_activation`` / ``next_layer`` /
+            ``single_read``.
+        layer_index: Consumer MAC layer index in ``network.layers``.
+        victim: Scope-dependent victim coordinate —
+            ``layer_weight``: index into the layer's weight tensor;
+            ``row_activation`` / ``next_layer``: index into the layer's
+            input fmap; ``single_read``: ``(out_index..., step)`` like a
+            datapath psum fault.
+        bit: Lowest flipped bit position in the data word.
+        burst: Number of adjacent bits flipped (1 = single-event upset).
+        residency_row: For ``row_activation``: the output row during
+            whose computation the corrupted register is live.
+    """
+
+    scope: str
+    layer_index: int
+    victim: tuple[int, ...]
+    bit: int
+    burst: int = 1
+    residency_row: int = -1
+
+    def __post_init__(self) -> None:
+        if self.scope not in FAULT_SCOPES:
+            raise ValueError(f"unknown buffer fault scope {self.scope!r}")
+        if self.bit < 0:
+            raise ValueError("bit must be non-negative")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+def _choose_weighted(rng: np.random.Generator, items: list[int], weights: list[int]) -> int:
+    w = np.asarray(weights, dtype=np.float64)
+    return int(rng.choice(items, p=w / w.sum()))
+
+
+def sample_datapath_fault(
+    network: Network,
+    dtype: DataType,
+    rng: np.random.Generator,
+    latch: str | None = None,
+    bit: int | None = None,
+    layer_index: int | None = None,
+    burst: int = 1,
+) -> DatapathFault:
+    """Sample a random datapath fault site.
+
+    Args:
+        network: Target network.
+        dtype: Numeric format (bounds the bit position).
+        rng: Random stream.
+        latch: Pin the latch class (None = uniform over classes).
+        bit: Pin the bit position (None = uniform over the word).
+        layer_index: Pin the victim MAC layer (None = MAC-weighted).
+    """
+    mac_counts = network.mac_counts()
+    if layer_index is None:
+        layer_index = _choose_weighted(rng, list(mac_counts), list(mac_counts.values()))
+    elif layer_index not in mac_counts:
+        raise ValueError(f"layer {layer_index} is not a MAC layer")
+    layer = network.layers[layer_index]
+    in_shape = network.shapes[layer_index]
+    flat = int(rng.integers(layer.output_elements(in_shape)))
+    out_index = layer.unravel_output(flat, in_shape)
+    step = int(rng.integers(layer.chain_length(in_shape)))
+    chosen_latch = latch if latch is not None else str(rng.choice(DATAPATH_LATCHES))
+    chosen_bit = int(rng.integers(dtype.width)) if bit is None else bit
+    return DatapathFault(layer_index, out_index, step, chosen_latch, chosen_bit, burst)
+
+
+#: Buffer scope -> Eyeriss component whose occupancy weights apply.
+SCOPE_COMPONENT = {
+    "layer_weight": "Filter SRAM",
+    "row_activation": "Img REG",
+    "next_layer": "Global Buffer",
+    "single_read": "PSum REG",
+}
+
+
+def _occupancy_layer(
+    occupancy: OccupancyModel,
+    scope: str,
+    candidates: list[int],
+    rng: np.random.Generator,
+) -> int | None:
+    """Draw a victim layer from the schedule's exposure weights."""
+    weights = occupancy.layer_weights(SCOPE_COMPONENT[scope])
+    usable = {li: w for li, w in weights.items() if li in candidates}
+    if not usable:
+        return None
+    items = list(usable)
+    probs = np.array([usable[i] for i in items])
+    return int(rng.choice(items, p=probs / probs.sum()))
+
+
+def sample_buffer_fault(
+    network: Network,
+    scope: str,
+    dtype: DataType,
+    rng: np.random.Generator,
+    bit: int | None = None,
+    burst: int = 1,
+    occupancy: OccupancyModel | None = None,
+) -> BufferFault:
+    """Sample a random buffer fault site for a given spread scope.
+
+    Victim layers are weighted by the amount of data of the relevant kind
+    resident for them (weights for ``layer_weight``, ifmap elements for
+    activation scopes, MACs for ``single_read``), mirroring a uniformly
+    random strike on buffer bits over time.  When an
+    :class:`~repro.accel.occupancy.OccupancyModel` is supplied, the layer
+    is drawn from the schedule's bit-cycle exposures instead — a strike
+    uniform in space *and time* on the mapped accelerator.
+    """
+    mac_idx = network.mac_layer_indices()
+    chosen_bit = int(rng.integers(dtype.width)) if bit is None else bit
+
+    if scope == "layer_weight":
+        li = _occupancy_layer(occupancy, scope, mac_idx, rng) if occupancy else None
+        if li is None:
+            weights = [int(network.layers[i].params()["weight"].size) for i in mac_idx]
+            li = _choose_weighted(rng, mac_idx, weights)
+        wshape = network.layers[li].params()["weight"].shape
+        victim = tuple(int(v) for v in np.unravel_index(int(rng.integers(int(np.prod(wshape)))), wshape))
+        return BufferFault(scope, li, victim, chosen_bit, burst)
+
+    if scope in ("row_activation", "next_layer"):
+        if scope == "row_activation":
+            candidates = [
+                i for i in mac_idx if isinstance(network.layers[i], Conv2D)
+            ]  # Img REG serves the sliding-window convolutions
+        else:
+            candidates = mac_idx
+        li = _occupancy_layer(occupancy, scope, candidates, rng) if occupancy else None
+        if li is None:
+            sizes = [int(np.prod(network.shapes[i])) for i in candidates]
+            li = _choose_weighted(rng, candidates, sizes)
+        in_shape = network.shapes[li]
+        victim = tuple(int(v) for v in np.unravel_index(int(rng.integers(int(np.prod(in_shape)))), in_shape))
+        residency_row = -1
+        if scope == "row_activation":
+            layer = network.layers[li]
+            _, oh, _ = layer.out_shape(in_shape)
+            y = victim[1]
+            # Output rows whose windows cover input row y.
+            rows = [
+                oy
+                for oy in range(oh)
+                if oy * layer.stride - layer.pad <= y <= oy * layer.stride - layer.pad + layer.kernel - 1
+            ]
+            residency_row = int(rng.choice(rows)) if rows else 0
+        return BufferFault(scope, li, victim, chosen_bit, burst, residency_row)
+
+    if scope == "single_read":
+        dp = sample_datapath_fault(network, dtype, rng, latch="psum", bit=chosen_bit)
+        victim = (*dp.out_index, dp.step)
+        return BufferFault(scope, dp.layer_index, victim, chosen_bit, burst)
+
+    raise ValueError(f"unknown buffer fault scope {scope!r}")

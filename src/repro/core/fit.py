@@ -1,0 +1,121 @@
+"""FIT-rate calculation (paper Equation 1 and section 4.7).
+
+``FIT = sum_component R_raw * S_component * SDC_component`` where
+``R_raw`` is the raw upset rate per megabit, ``S`` the component size in
+megabits and ``SDC`` the measured SDC probability of faults in that
+component.
+
+The paper estimates ``R_raw = 20.49 FIT/Mb`` at 16nm by extrapolating
+Neale et al.'s 28nm SRAM measurement (157.62 FIT/MB, corrected by the
+authors' acknowledged factor of 0.65) along the paper's Figure-1 trend.
+ISO 26262 allots less than 10 FIT to the whole SoC; the accelerator's
+budget is a small fraction of that (section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.buffers import BufferSpec
+from repro.accel.datapath import LATCH_CLASSES, DatapathModel
+from repro.accel.eyeriss import EyerissConfig
+
+__all__ = [
+    "R_RAW_FIT_PER_MBIT_16NM",
+    "ISO26262_SOC_FIT_BUDGET",
+    "fit_rate",
+    "ComponentFit",
+    "datapath_fit",
+    "buffer_fit",
+    "eyeriss_total_fit",
+]
+
+#: Raw soft-error rate at 16nm, FIT per megabit (paper section 4.7).
+R_RAW_FIT_PER_MBIT_16NM = 20.49
+
+#: ISO 26262 FIT budget for the whole SoC (section 2.3).
+ISO26262_SOC_FIT_BUDGET = 10.0
+
+
+def fit_rate(size_mbit: float, sdc_probability: float, r_raw: float = R_RAW_FIT_PER_MBIT_16NM) -> float:
+    """Equation 1 for a single component."""
+    if size_mbit < 0 or not 0.0 <= sdc_probability <= 1.0:
+        raise ValueError("size must be >= 0 and SDC probability in [0, 1]")
+    return r_raw * size_mbit * sdc_probability
+
+
+@dataclass(frozen=True)
+class ComponentFit:
+    """FIT contribution of one hardware component."""
+
+    component: str
+    size_mbit: float
+    sdc_probability: float
+    fit: float
+
+
+def datapath_fit(
+    datapath: DatapathModel,
+    sdc_by_latch: dict[str, float],
+    r_raw: float = R_RAW_FIT_PER_MBIT_16NM,
+) -> list[ComponentFit]:
+    """Per-latch-class FIT of a PE-array datapath (Table 6 machinery).
+
+    Args:
+        datapath: Latch population model.
+        sdc_by_latch: Measured SDC probability per latch class; a single
+            ``"datapath"`` key applies one probability to every class.
+    """
+    out = []
+    for lc in LATCH_CLASSES:
+        sdc = sdc_by_latch.get(lc.name, sdc_by_latch.get("datapath"))
+        if sdc is None:
+            raise KeyError(f"no SDC probability for latch class {lc.name!r}")
+        size_mbit = datapath.bits_of(lc.name) / 1e6
+        out.append(ComponentFit(lc.name, size_mbit, sdc, fit_rate(size_mbit, sdc, r_raw)))
+    return out
+
+
+def buffer_fit(
+    spec: BufferSpec,
+    sdc_probability: float,
+    r_raw: float = R_RAW_FIT_PER_MBIT_16NM,
+) -> ComponentFit:
+    """FIT of one buffer component (Table 8 machinery)."""
+    return ComponentFit(
+        spec.name, spec.size_mbit, sdc_probability, fit_rate(spec.size_mbit, sdc_probability, r_raw)
+    )
+
+
+def eyeriss_total_fit(
+    config: EyerissConfig,
+    datapath_sdc: dict[str, float],
+    buffer_sdc: dict[str, float],
+    detector_recall: float = 0.0,
+    r_raw: float = R_RAW_FIT_PER_MBIT_16NM,
+) -> dict[str, float]:
+    """Overall FIT of an Eyeriss instance, optionally SED-protected.
+
+    Args:
+        config: Accelerator configuration (16nm projection for the paper).
+        datapath_sdc: SDC probability per latch class (or ``"datapath"``).
+        buffer_sdc: SDC probability per buffer component name.
+        detector_recall: Fraction of SDC-causing faults caught by the
+            symptom detector; detected faults no longer count as SDCs
+            (section 6.2 reduces Eyeriss FIT by exactly this factor).
+
+    Returns:
+        Mapping of component name to FIT, plus ``"total"``.
+    """
+    if not 0.0 <= detector_recall <= 1.0:
+        raise ValueError("detector_recall must be in [0, 1]")
+    survive = 1.0 - detector_recall
+    result: dict[str, float] = {}
+    dp = datapath_fit(config.datapath, datapath_sdc, r_raw)
+    result["datapath"] = sum(c.fit for c in dp) * survive
+    for spec in config.buffers():
+        if spec.name not in buffer_sdc:
+            raise KeyError(f"no SDC probability for buffer {spec.name!r}")
+        result[spec.name] = buffer_fit(spec, buffer_sdc[spec.name], r_raw).fit * survive
+    result["total"] = sum(result.values())
+    return result

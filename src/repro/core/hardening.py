@@ -1,0 +1,246 @@
+"""Selective Latch Hardening (SLH) — paper section 6.3.
+
+The paper leverages the asymmetric per-bit SDC sensitivity (Figure 4):
+only a few high-order bit latches dominate the datapath FIT rate, so
+hardening those few latches with the cheapest sufficient technique buys
+large FIT reductions at small area cost (Sullivan et al.'s analytical
+model).  Three hardened latch designs are considered (Table 9):
+
+==========================  =============  ===================
+latch type                  area overhead  FIT-rate reduction
+==========================  =============  ===================
+Baseline                    1.0x           1x
+Strike Suppression (RCC)    1.15x          6.3x
+Redundant Node (SEUT)       2.0x           37x
+Triplicated (TMR)           3.5x           1,000,000x
+==========================  =============  ===================
+
+This module provides: the hardened-latch library, the perfect-protection
+coverage curve with its beta fit (Figure 9a), single-technique and
+multi-technique (optimal mix) overhead-versus-target curves (Figures
+9b/9c), and a greedy cost optimizer for choosing per-latch techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "HardenedLatch",
+    "HARDENING_TECHNIQUES",
+    "coverage_curve",
+    "fit_beta",
+    "single_technique_overhead",
+    "optimize_hardening",
+    "HardeningPlan",
+]
+
+
+@dataclass(frozen=True)
+class HardenedLatch:
+    """One hardened latch design point (Table 9)."""
+
+    name: str
+    area: float  # area relative to the baseline latch
+    fit_reduction: float  # upset-rate reduction factor
+
+    @property
+    def overhead(self) -> float:
+        """Extra area relative to the baseline latch."""
+        return self.area - 1.0
+
+
+#: Table 9's design points, in increasing strength.
+HARDENING_TECHNIQUES: tuple[HardenedLatch, ...] = (
+    HardenedLatch("RCC", 1.15, 6.3),
+    HardenedLatch("SEUT", 2.0, 37.0),
+    HardenedLatch("TMR", 3.5, 1_000_000.0),
+)
+
+
+def _normalize(per_latch_fit: np.ndarray) -> np.ndarray:
+    fit = np.asarray(per_latch_fit, dtype=np.float64)
+    if fit.ndim != 1 or fit.size == 0:
+        raise ValueError("per_latch_fit must be a non-empty 1-D array")
+    if (fit < 0).any():
+        raise ValueError("per-latch FIT values must be non-negative")
+    return fit
+
+
+def coverage_curve(per_latch_fit: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """FIT reduction versus fraction of latches protected (Figure 9a).
+
+    Latches are protected most-sensitive-first with a *perfect* hardening
+    technique.  Returns ``(fraction_protected, fit_reduction)`` arrays of
+    length ``n + 1`` starting at (0, 0); ``fit_reduction`` is the
+    fraction of total FIT removed.
+    """
+    fit = _normalize(per_latch_fit)
+    order = np.argsort(fit)[::-1]
+    total = fit.sum()
+    removed = np.concatenate(([0.0], np.cumsum(fit[order])))
+    fraction = np.arange(fit.size + 1) / fit.size
+    reduction = removed / total if total > 0 else np.zeros_like(removed)
+    return fraction, reduction
+
+
+def fit_beta(fraction: np.ndarray, reduction: np.ndarray) -> float:
+    """Fit the paper's beta to a coverage curve.
+
+    Models the curve as ``reduction(f) = 1 - exp(-beta * f)`` (normalized
+    so reduction(1) = its observed endpoint); larger beta means fewer
+    latches dominate the FIT rate.  Least squares on the log residual.
+    """
+    f = np.asarray(fraction, dtype=np.float64)
+    r = np.asarray(reduction, dtype=np.float64)
+    mask = (f > 0) & (r < 1.0) & (f < 1.0)
+    if not mask.any():
+        return float("inf")
+    # log(1 - r) = -beta * f  ->  beta = -sum(f * log1p(-r)) / sum(f^2)
+    lf = f[mask]
+    lr = np.log1p(-r[mask])
+    denom = float((lf * lf).sum())
+    return float(-(lf * lr).sum() / denom) if denom else float("inf")
+
+
+def single_technique_overhead(
+    per_latch_fit: np.ndarray,
+    technique: HardenedLatch,
+    target_reduction: float,
+) -> float | None:
+    """Minimum area overhead to reach a FIT-reduction target with one
+    technique applied to the most sensitive latches (Figures 9b/9c).
+
+    Args:
+        per_latch_fit: FIT contribution of each latch.
+        technique: Hardened latch design to apply.
+        target_reduction: Desired total FIT reduction factor (e.g. 37.0
+            means the hardened datapath has 1/37 the original FIT).
+
+    Returns:
+        Fractional extra latch area (e.g. 0.2 = 20%), or None when the
+        technique cannot reach the target even if applied to every latch.
+    """
+    fit = _normalize(per_latch_fit)
+    if target_reduction <= 1.0:
+        return 0.0
+    total = fit.sum()
+    if total == 0:
+        return 0.0
+    order = np.argsort(fit)[::-1]
+    sorted_fit = fit[order]
+    budget = total / target_reduction  # residual FIT allowed
+    tol = 1e-12 * total  # relative: FIT totals can be arbitrarily small
+    # Hardening the top-k latches leaves sum(rest) + sum(top)/r residual.
+    protected_cum = np.concatenate(([0.0], np.cumsum(sorted_fit)))
+    residual = (total - protected_cum) + protected_cum / technique.fit_reduction
+    ok = np.nonzero(residual <= budget + tol)[0]
+    if ok.size == 0:
+        return None
+    k = int(ok[0])
+    return k / fit.size * technique.overhead
+
+
+@dataclass
+class HardeningPlan:
+    """Output of the multi-technique optimizer.
+
+    Attributes:
+        assignment: Technique name per latch (``"Baseline"`` if unhardened).
+        achieved_reduction: Resulting total FIT reduction factor.
+        area_overhead: Fractional extra latch area.
+    """
+
+    assignment: list[str]
+    achieved_reduction: float
+    area_overhead: float
+
+
+def _evaluate(
+    fit: np.ndarray, choice: np.ndarray, options: list[tuple[str, float, float]]
+) -> tuple[float, float]:
+    """Residual FIT and mean area overhead of a per-latch assignment."""
+    residual = 0.0
+    overhead = 0.0
+    for i, c in enumerate(choice):
+        _, cost, reduction = options[c]
+        residual += fit[i] / reduction
+        overhead += cost
+    return residual, overhead / fit.size
+
+
+def optimize_hardening(
+    per_latch_fit: np.ndarray,
+    target_reduction: float,
+    techniques: tuple[HardenedLatch, ...] = HARDENING_TECHNIQUES,
+) -> HardeningPlan:
+    """Choose per-latch hardening to hit a FIT target at minimum area.
+
+    Lagrangian sweep: for a multiplier ``lam``, each latch independently
+    picks the option minimizing ``fit_i / r + lam * cost``; sweeping
+    ``lam`` over all per-latch switch points traces the lower convex hull
+    of the (residual FIT, area) trade-off — the paper's "Multi" curve
+    (Sullivan et al.'s error-sensitivity-proportional technique mix).
+    Single-technique top-k plans are included as additional candidates,
+    so the mix is never worse than any one technique alone.
+    """
+    fit = _normalize(per_latch_fit)
+    n = fit.size
+    total = fit.sum()
+    if target_reduction <= 1.0 or total == 0:
+        return HardeningPlan(["Baseline"] * n, 1.0 if total else float("inf"), 0.0)
+    budget = total / target_reduction
+    tol = 1e-12 * total  # relative: FIT totals can be arbitrarily small
+
+    ordered = sorted(techniques, key=lambda t: t.area)
+    options: list[tuple[str, float, float]] = [("Baseline", 0.0, 1.0)] + [
+        (t.name, t.overhead, t.fit_reduction) for t in ordered
+    ]
+
+    # Switch-point multipliers where some latch changes its preference.
+    lambdas = {0.0}
+    for fi in fit:
+        for _, ca, ra in options:
+            for _, cb, rb in options:
+                if cb > ca:
+                    lam = fi * (1.0 / ra - 1.0 / rb) / (cb - ca)
+                    if lam > 0:
+                        lambdas.add(lam)
+
+    candidates: list[np.ndarray] = []
+    costs = np.array([c for _, c, _ in options])
+    inv_red = np.array([1.0 / r for _, _, r in options])
+    for lam in lambdas:
+        scores = fit[:, None] * inv_red[None, :] + lam * costs[None, :]
+        # Tie-break toward the cheaper option.
+        choice = np.lexsort((costs[None, :].repeat(n, 0), scores))[:, 0]
+        candidates.append(choice)
+
+    # Single-technique top-k plans (k minimal to meet the target).
+    order = np.argsort(fit)[::-1]
+    for t_idx in range(1, len(options)):
+        protected_cum = np.concatenate(([0.0], np.cumsum(fit[order])))
+        residuals = (total - protected_cum) + protected_cum * inv_red[t_idx]
+        ok = np.nonzero(residuals <= budget + tol)[0]
+        if ok.size:
+            choice = np.zeros(n, dtype=np.intp)
+            choice[order[: int(ok[0])]] = t_idx
+            candidates.append(choice)
+
+    best_choice = None
+    best_area = np.inf
+    for choice in candidates:
+        residual, area = _evaluate(fit, choice, options)
+        if residual <= budget + tol and area < best_area:
+            best_choice, best_area = choice, area
+    if best_choice is None:
+        # Unreachable target: strongest option everywhere.
+        best_choice = np.full(n, len(options) - 1, dtype=np.intp)
+        _, best_area = _evaluate(fit, best_choice, options)
+
+    residual, _ = _evaluate(fit, best_choice, options)
+    names = [options[c][0] for c in best_choice]
+    achieved = total / residual if residual > 0 else float("inf")
+    return HardeningPlan(names, achieved, best_area)

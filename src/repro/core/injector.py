@@ -1,0 +1,374 @@
+"""Bit-exact fault injection into DNN inference.
+
+Two engines, matching the paper's two fault origins:
+
+- :func:`inject_datapath` replays the single corrupted MAC chain with the
+  target format's per-step rounding/saturation semantics, patches the
+  victim output element, and resumes the network from the next layer
+  (read-once semantics of PE latches).
+- :func:`inject_buffer` spreads one corrupted buffer entry according to
+  its reuse scope — a whole-layer weight (Filter SRAM), a one-row ifmap
+  residency (Img REG), a next-layer activation (Global Buffer) or a
+  single partial-sum read (PSum REG).
+
+Both consume a cached golden :class:`~repro.nn.network.InferenceResult`
+so each injection costs only the corrupted chain(s) plus a partial
+forward pass from the fault layer onward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.nn.layers.base import MacChain, MacLayer
+from repro.nn.network import InferenceResult, Network
+from repro.core.fault import BufferFault, DatapathFault
+
+__all__ = ["InjectionResult", "replay_chain", "inject_datapath", "inject_buffer"]
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one fault injection.
+
+    Attributes:
+        scores: Final output scores of the faulty run.
+        masked: True when the flip did not change any architecturally
+            visible value (the faulty run equals the golden run exactly).
+        value_before: Victim value before corruption (golden).
+        value_after: Victim value after corruption.
+        resume_index: Layer index from which execution was re-run.
+        faulty_activations: Activations of the re-run segment;
+            ``faulty_activations[0]`` is the (corrupted) input to layer
+            ``resume_index``.  Empty when ``masked`` or recording is off.
+    """
+
+    scores: np.ndarray
+    masked: bool
+    value_before: float
+    value_after: float
+    resume_index: int
+    faulty_activations: list[np.ndarray] = field(default_factory=list)
+
+
+def replay_chain(
+    dtype: DataType,
+    chain: MacChain,
+    fault: DatapathFault | None = None,
+) -> float:
+    """Accumulate a MAC chain bit-exactly, optionally with one latch fault.
+
+    The accumulator starts at the bias and adds one product per step with
+    the format's per-step rounding (FP) or saturation (FxP).  A fault of
+    kind ``weight_operand``/``input_operand`` corrupts the multiplier
+    operand of step ``fault.step``; ``product`` corrupts the multiplier
+    output; ``psum`` corrupts the running sum *entering* the adder at
+    that step; ``accumulator`` corrupts the sum *leaving* it.
+
+    Returns:
+        The final accumulated value (the victim output element before
+        any subsequent activation function).
+    """
+    w = chain.weights
+    a = chain.inputs
+    products = dtype.multiply(w, a)
+    if fault is None:
+        full = np.concatenate(([chain.bias], products))
+        return float(dtype.partials(full)[-1])
+
+    k = fault.step
+    if not 0 <= k < chain.length:
+        raise ValueError(f"fault step {k} outside chain of length {chain.length}")
+
+    if fault.latch == "weight_operand":
+        wk = dtype.flip_bits(np.array([w[k]]), fault.bit, fault.burst)[0]
+        products = products.copy()
+        products[k] = dtype.multiply(np.array([wk]), np.array([a[k]]))[0]
+        full = np.concatenate(([chain.bias], products))
+        return float(dtype.partials(full)[-1])
+    if fault.latch == "input_operand":
+        ak = dtype.flip_bits(np.array([a[k]]), fault.bit, fault.burst)[0]
+        products = products.copy()
+        products[k] = dtype.multiply(np.array([w[k]]), np.array([ak]))[0]
+        full = np.concatenate(([chain.bias], products))
+        return float(dtype.partials(full)[-1])
+    if fault.latch == "product":
+        products = products.copy()
+        products[k] = dtype.flip_bits(np.array([products[k]]), fault.bit, fault.burst)[0]
+        full = np.concatenate(([chain.bias], products))
+        return float(dtype.partials(full)[-1])
+    if fault.latch in ("psum", "accumulator"):
+        prefix = dtype.partials(np.concatenate(([chain.bias], products[:k])))
+        running = prefix[-1]
+        if fault.latch == "psum":
+            # Corrupt the partial sum entering the adder at step k.
+            running = dtype.flip_bits(np.array([running]), fault.bit, fault.burst)[0]
+            rest = np.concatenate(([running], products[k:]))
+        else:
+            # Corrupt the adder output of step k.
+            running = dtype.add(np.array([running]), np.array([products[k]]))[0]
+            running = dtype.flip_bits(np.array([running]), fault.bit, fault.burst)[0]
+            rest = np.concatenate(([running], products[k + 1 :]))
+        return float(dtype.partials(rest)[-1])
+    raise ValueError(f"unknown latch {fault.latch!r}")
+
+
+def _patched_resume(
+    network: Network,
+    dtype: DataType,
+    resume_index: int,
+    act: np.ndarray,
+    value_before: float,
+    value_after: float,
+    record: bool,
+    storage_dtype: DataType | None = None,
+) -> InjectionResult:
+    """Resume the forward pass with a patched activation."""
+    res = network.forward_from(
+        resume_index, act, dtype=dtype, record=record, storage_dtype=storage_dtype
+    )
+    return InjectionResult(
+        scores=res.scores,
+        masked=False,
+        value_before=value_before,
+        value_after=value_after,
+        resume_index=resume_index,
+        faulty_activations=[act] + res.activations[1:] if record else [],
+    )
+
+
+def _masked_result(golden: InferenceResult, resume_index: int, value: float) -> InjectionResult:
+    return InjectionResult(
+        scores=golden.scores,
+        masked=True,
+        value_before=value,
+        value_after=value,
+        resume_index=resume_index,
+    )
+
+
+def inject_datapath(
+    network: Network,
+    dtype: DataType,
+    fault: DatapathFault,
+    golden: InferenceResult,
+    record: bool = False,
+    storage_dtype: DataType | None = None,
+) -> InjectionResult:
+    """Inject one datapath-latch fault and run the inference to the end.
+
+    Args:
+        network: Target network (weights untouched).
+        dtype: Numeric format of the accelerator datapath.
+        fault: Fault site (see :class:`~repro.core.fault.DatapathFault`).
+        golden: Fault-free inference (with recorded activations) of the
+            same input under the same formats.
+        record: Keep the faulty activations of the resumed segment (for
+            detector evaluation and propagation tracing).
+        storage_dtype: Reduced-precision buffer storage format, when the
+            golden run used one (Proteus protocol, paper section 6.1).
+    """
+    layer = network.layers[fault.layer_index]
+    if not isinstance(layer, MacLayer):
+        raise TypeError(f"layer {fault.layer_index} is not a MAC layer")
+    x = golden.activations[fault.layer_index]
+    chain = layer.mac_operands(x, fault.out_index, dtype)
+    clean = replay_chain(dtype, chain)
+    faulty = replay_chain(dtype, chain, fault)
+    if storage_dtype is not None and fault.layer_index in network.block_output_indices():
+        # The corrupted MAC result is immediately narrowed for storage.
+        clean = float(storage_dtype.quantize(np.array([clean]))[0])
+        faulty = float(storage_dtype.quantize(np.array([faulty]))[0])
+    if faulty == clean or (np.isnan(faulty) and np.isnan(clean)):
+        return _masked_result(golden, fault.layer_index + 1, clean)
+    act = golden.activations[fault.layer_index + 1].copy()
+    act[fault.out_index] = faulty
+    return _patched_resume(
+        network, dtype, fault.layer_index + 1, act, clean, faulty, record,
+        storage_dtype=storage_dtype,
+    )
+
+
+def _inject_layer_weight(
+    network: Network,
+    dtype: DataType,
+    fault: BufferFault,
+    golden: InferenceResult,
+    record: bool,
+    storage_dtype: DataType | None,
+) -> InjectionResult:
+    """Filter-SRAM fault: one weight corrupted for the whole layer."""
+    layer = network.layers[fault.layer_index]
+    w, b = layer.quantized_weights(dtype)
+    store = storage_dtype or dtype
+    before = float(store.quantize(np.array([w[fault.victim]]))[0])
+    after = float(store.flip_bits(np.array([before]), fault.bit, fault.burst)[0])
+    if after == before:
+        return _masked_result(golden, fault.layer_index + 1, before)
+    w_bad = w.copy()
+    w_bad[fault.victim] = dtype.quantize(np.array([after]))[0]
+    x = golden.activations[fault.layer_index]
+    y = layer.forward_with_weights(x[None], dtype, w_bad, b)[0]
+    if storage_dtype is not None and fault.layer_index in network.block_output_indices():
+        y = storage_dtype.quantize(y)
+    return _patched_resume(
+        network, dtype, fault.layer_index + 1, y, before, after, record,
+        storage_dtype=storage_dtype,
+    )
+
+
+def _inject_next_layer(
+    network: Network,
+    dtype: DataType,
+    fault: BufferFault,
+    golden: InferenceResult,
+    record: bool,
+    storage_dtype: DataType | None,
+) -> InjectionResult:
+    """Global-Buffer fault: one stored ACT corrupted for all consumers.
+
+    The flip happens in the *storage* representation: under the Proteus
+    protocol the stored word is narrower than the datapath word.
+    """
+    store = storage_dtype or dtype
+    x = golden.activations[fault.layer_index]
+    before = float(x[fault.victim])
+    after = float(store.flip_bits(np.array([before]), fault.bit, fault.burst)[0])
+    if after == before:
+        return _masked_result(golden, fault.layer_index, before)
+    act = x.copy()
+    act[fault.victim] = dtype.quantize(np.array([after]))[0]
+    return _patched_resume(
+        network, dtype, fault.layer_index, act, before, after, record,
+        storage_dtype=storage_dtype,
+    )
+
+
+def _inject_row_activation(
+    network: Network,
+    dtype: DataType,
+    fault: BufferFault,
+    golden: InferenceResult,
+    record: bool,
+    storage_dtype: DataType | None,
+) -> InjectionResult:
+    """Img-REG fault: corrupted ifmap value read by one output row only.
+
+    Only the output elements of ``fault.residency_row`` whose windows
+    cover the victim pixel consume the corrupted register; every other
+    window re-reads the (correct) value from the Filter/Global buffers.
+    Each affected element's chain is replayed with the corrupted tap.
+    """
+    layer = network.layers[fault.layer_index]
+    store = storage_dtype or dtype
+    x = golden.activations[fault.layer_index]
+    before = float(x[fault.victim])
+    after = float(store.flip_bits(np.array([before]), fault.bit, fault.burst)[0])
+    if after == before:
+        return _masked_result(golden, fault.layer_index + 1, before)
+
+    x_bad = x.copy()
+    x_bad[fault.victim] = dtype.quantize(np.array([after]))[0]
+    _, yy, xx_pos = fault.victim
+    oy = fault.residency_row
+    _, _, ow = layer.out_shape(x.shape)
+    affected_cols = [
+        ox
+        for ox in range(ow)
+        if ox * layer.stride - layer.pad <= xx_pos <= ox * layer.stride - layer.pad + layer.kernel - 1
+    ]
+    if not (oy * layer.stride - layer.pad <= yy <= oy * layer.stride - layer.pad + layer.kernel - 1):
+        # Residency row does not read the victim pixel: fault never consumed.
+        return _masked_result(golden, fault.layer_index + 1, before)
+
+    act = golden.activations[fault.layer_index + 1].copy()
+    narrow = (
+        storage_dtype
+        if storage_dtype is not None
+        and fault.layer_index in network.block_output_indices()
+        else None
+    )
+    # Batch the affected chains: all (filter, column) pairs of the
+    # residency row, replayed bit-exactly with and without the corrupt
+    # tap in one vectorized accumulate each.
+    indices = [(f, oy, ox) for f in range(layer.out_channels) for ox in affected_cols]
+    prods_bad, prods_ok, biases = [], [], []
+    for idx in indices:
+        chain_bad = layer.mac_operands(x_bad, idx, dtype)
+        chain_ok = layer.mac_operands(x, idx, dtype)
+        prods_bad.append(dtype.multiply(chain_bad.weights, chain_bad.inputs))
+        prods_ok.append(dtype.multiply(chain_ok.weights, chain_ok.inputs))
+        biases.append(chain_bad.bias)
+    bias_vec = np.asarray(biases)
+    v_bad = dtype.accumulate_batch(np.asarray(prods_bad), bias_vec)
+    v_ok = dtype.accumulate_batch(np.asarray(prods_ok), bias_vec)
+    if narrow is not None:
+        v_bad = narrow.quantize(v_bad)
+        v_ok = narrow.quantize(v_ok)
+    with np.errstate(invalid="ignore"):
+        differs = (v_bad != v_ok) & ~(np.isnan(v_bad) & np.isnan(v_ok))
+    if not differs.any():
+        return _masked_result(golden, fault.layer_index + 1, before)
+    for pos, idx in enumerate(indices):
+        if differs[pos]:
+            act[idx] = v_bad[pos]
+    return _patched_resume(
+        network, dtype, fault.layer_index + 1, act, before, after, record,
+        storage_dtype=storage_dtype,
+    )
+
+
+def _inject_single_read(
+    network: Network,
+    dtype: DataType,
+    fault: BufferFault,
+    golden: InferenceResult,
+    record: bool,
+    storage_dtype: DataType | None,
+) -> InjectionResult:
+    """PSum-REG fault: identical semantics to a datapath psum latch."""
+    *out_index, step = fault.victim
+    dp = DatapathFault(
+        layer_index=fault.layer_index,
+        out_index=tuple(out_index),
+        step=int(step),
+        latch="psum",
+        bit=fault.bit,
+        burst=fault.burst,
+    )
+    return inject_datapath(
+        network, dtype, dp, golden, record=record, storage_dtype=storage_dtype
+    )
+
+
+_BUFFER_DISPATCH = {
+    "layer_weight": _inject_layer_weight,
+    "next_layer": _inject_next_layer,
+    "row_activation": _inject_row_activation,
+    "single_read": _inject_single_read,
+}
+
+
+def inject_buffer(
+    network: Network,
+    dtype: DataType,
+    fault: BufferFault,
+    golden: InferenceResult,
+    record: bool = False,
+    storage_dtype: DataType | None = None,
+) -> InjectionResult:
+    """Inject one buffer fault (dispatching on its reuse scope).
+
+    ``storage_dtype`` enables the Proteus reduced-precision protocol:
+    buffered values (weights, fmaps) live in the narrow storage format,
+    so the flip lands in that representation, while the datapath keeps
+    computing in ``dtype``.
+    """
+    try:
+        handler = _BUFFER_DISPATCH[fault.scope]
+    except KeyError:
+        raise ValueError(f"unknown buffer fault scope {fault.scope!r}") from None
+    return handler(network, dtype, fault, golden, record, storage_dtype)

@@ -1,0 +1,114 @@
+"""SDC outcome classification (paper section 4.6).
+
+A DNN's output is a ranked candidate list with confidence scores, so the
+paper defines four SDC classes instead of bit-compare:
+
+- **SDC-1**: the faulty top-1 differs from the golden top-1.
+- **SDC-5**: the faulty top-1 is not in the golden top-5.
+- **SDC-10% / SDC-20%**: the confidence score of the top-ranked element
+  deviates by more than 10% / 20% of its fault-free value.  Undefined
+  for networks without confidence scores (NiN).
+
+The paper defines SDC probability conditioned on the fault affecting an
+architecturally visible state ("the fault was activated").  The injector
+corrupts a value that is live by construction — the latch/buffer entry is
+read by the computation — so *every* trial is activated and the SDC
+denominator is the full injection count.  ``Outcome.masked`` records the
+separate phenomenon of the corruption being erased on its way to the
+output (POOL/ReLU/LRN masking, section 5.1.4): masked trials are non-SDC
+outcomes, not excluded trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.network import InferenceResult
+
+__all__ = ["Outcome", "classify_outcome", "SDC_CLASSES"]
+
+#: Outcome-class keys in paper order.
+SDC_CLASSES = ("sdc1", "sdc5", "sdc10", "sdc20")
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Classification of one injection trial.
+
+    ``sdc10``/``sdc20`` are None for confidence-less networks.
+    """
+
+    masked: bool
+    sdc1: bool
+    sdc5: bool
+    sdc10: bool | None
+    sdc20: bool | None
+
+    @property
+    def benign(self) -> bool:
+        """No critical (SDC-1) outcome — includes masked trials."""
+        return not self.sdc1
+
+    def flag(self, sdc_class: str) -> bool | None:
+        """Look up one SDC-class flag by key (``"sdc1"`` ... ``"sdc20"``)."""
+        if sdc_class not in SDC_CLASSES:
+            raise KeyError(f"unknown SDC class {sdc_class!r}")
+        return getattr(self, sdc_class)
+
+
+def _confidence_deviation(golden: np.ndarray, faulty: np.ndarray) -> float:
+    """Relative deviation of the top-ranked confidence score.
+
+    Compares the faulty run's top-1 confidence against the golden run's
+    top-1 confidence, relative to the golden value ("varies by more than
+    +/-10% of its fault-free execution").
+    """
+    g_top = float(np.max(golden))
+    f_top = float(faulty[int(np.argmax(faulty))])
+    if not np.isfinite(f_top):
+        return np.inf
+    if g_top == 0.0:
+        return np.inf if f_top != g_top else 0.0
+    return abs(f_top - g_top) / abs(g_top)
+
+
+def classify_outcome(
+    golden: InferenceResult,
+    faulty_scores: np.ndarray,
+    has_confidence: bool,
+    masked: bool = False,
+) -> Outcome:
+    """Classify one trial against its golden run.
+
+    Args:
+        golden: Fault-free inference result.
+        faulty_scores: Output scores of the faulty run.
+        has_confidence: Whether scores are confidences (softmax present).
+        masked: Pre-computed masking flag from the injector; if False the
+            score vectors are additionally compared for exact equality.
+    """
+    if masked or np.array_equal(golden.scores, faulty_scores):
+        return Outcome(masked=True, sdc1=False, sdc5=False,
+                       sdc10=False if has_confidence else None,
+                       sdc20=False if has_confidence else None)
+    g_top1 = golden.top1()
+    with np.errstate(invalid="ignore"):
+        f_top1 = int(np.argmax(faulty_scores))
+    if np.isnan(faulty_scores).any():
+        # A NaN-poisoned score vector has no meaningful ranking: the
+        # downstream consumer would read a corrupted top-1.
+        nan_all = np.isnan(faulty_scores).all()
+        sdc1 = True if nan_all else (f_top1 != g_top1)
+        sdc5 = True if nan_all else (f_top1 not in golden.topk(5))
+    else:
+        sdc1 = f_top1 != g_top1
+        sdc5 = f_top1 not in golden.topk(5)
+    if has_confidence:
+        dev = _confidence_deviation(golden.scores, faulty_scores)
+        sdc10: bool | None = bool(dev > 0.10)
+        sdc20: bool | None = bool(dev > 0.20)
+    else:
+        sdc10 = sdc20 = None
+    return Outcome(masked=False, sdc1=bool(sdc1), sdc5=bool(sdc5), sdc10=sdc10, sdc20=sdc20)

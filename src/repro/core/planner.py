@@ -1,0 +1,207 @@
+"""Protection planning: meet a FIT budget at minimum cost.
+
+Section 6 of the paper presents three mitigation mechanisms — SED
+(software symptom detectors), SLH (selective latch hardening) and ECC on
+buffers — and argues each trades coverage against a different cost
+(detector recall vs. nothing, latch area, buffer area).  This module
+turns that discussion into a solver: given the measured SDC
+probabilities and detector recall of a configuration, enumerate the
+protection combinations, cost each one, and return the cheapest plan
+that meets the accelerator's FIT allowance.
+
+Cost model:
+
+- **SED** is software: zero silicon area.  Its runtime cost is the
+  asynchronous host-side range scan — one comparison per ACT written to
+  the global buffer — reported as a fraction of the inference's MAC
+  work.
+- **SLH** costs latch area on the datapath, taken from the
+  :mod:`repro.core.hardening` optimizer for the requested reduction.
+- **ECC** costs check bits per protected buffer word.  The paper notes
+  small read granularities make ECC expensive on the little per-PE
+  scratchpads: the overhead is ``checkbits(word)/word`` with SEC-DED
+  check-bit counts (6 for 16-bit words, 8 for 64-bit words), applied
+  per component at its natural word size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro.accel.eyeriss import EyerissConfig
+from repro.core.fit import eyeriss_total_fit
+from repro.core.hardening import HARDENING_TECHNIQUES, optimize_hardening
+
+__all__ = ["ProtectionPlan", "PlannerInputs", "plan_protection", "sec_ded_overhead"]
+
+#: SLH reduction targets the planner may choose from.
+SLH_TARGET_OPTIONS = (1.0, 6.3, 37.0, 100.0)
+#: Residual FIT fraction for an ECC-protected buffer (uncorrected
+#: multi-bit patterns).
+ECC_RESIDUAL = 0.01
+
+#: Natural read-word width per Eyeriss buffer component.
+COMPONENT_WORD_BITS = {
+    "Global Buffer": 64,
+    "Filter SRAM": 16,
+    "Img REG": 16,
+    "PSum REG": 16,
+}
+
+
+def sec_ded_overhead(word_bits: int) -> float:
+    """SEC-DED check-bit overhead for one data word.
+
+    A single-error-correct / double-error-detect Hamming code over k
+    data bits needs the smallest r with ``2**r >= k + r + 1``, plus one
+    parity bit.
+    """
+    if word_bits < 1:
+        raise ValueError("word_bits must be positive")
+    r = 1
+    while (1 << r) < word_bits + r + 1:
+        r += 1
+    return (r + 1) / word_bits
+
+
+@dataclass(frozen=True)
+class PlannerInputs:
+    """Measured reliability characteristics of one configuration.
+
+    Attributes:
+        config: Accelerator instance (sizes drive both FIT and cost).
+        datapath_sdc: SDC probability of datapath-latch faults.
+        buffer_sdc: SDC probability per buffer component name.
+        sed_recall: Fraction of SDC-causing faults the symptom detector
+            catches (0 disables SED as an option).
+        per_bit_fit: Per-bit datapath FIT shares for the SLH optimizer
+            (relative values suffice).
+        act_elements_per_inference: ACT values written to the global
+            buffer per inference (the SED scan work).
+        macs_per_inference: MAC operations per inference.
+    """
+
+    config: EyerissConfig
+    datapath_sdc: float
+    buffer_sdc: dict[str, float]
+    sed_recall: float
+    per_bit_fit: np.ndarray
+    act_elements_per_inference: int
+    macs_per_inference: int
+
+
+@dataclass
+class ProtectionPlan:
+    """One costed protection combination."""
+
+    use_sed: bool
+    slh_target: float
+    ecc_components: tuple[str, ...]
+    total_fit: float
+    area_overhead: float  # fraction of protected-structure area added
+    runtime_overhead: float  # SED scan work / inference MAC work
+    components: dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = []
+        if self.use_sed:
+            parts.append("SED")
+        if self.slh_target > 1.0:
+            parts.append(f"SLH({self.slh_target:g}x)")
+        if self.ecc_components:
+            parts.append(f"ECC({', '.join(self.ecc_components)})")
+        stack = " + ".join(parts) if parts else "unprotected"
+        return (
+            f"{stack}: {self.total_fit:.4g} FIT, "
+            f"area +{100 * self.area_overhead:.1f}%, "
+            f"runtime +{100 * self.runtime_overhead:.2f}%"
+        )
+
+
+def _area_overhead(
+    inputs: PlannerInputs, slh_target: float, ecc: tuple[str, ...]
+) -> float:
+    """Added silicon area as a fraction of the protected structures."""
+    cfg = inputs.config
+    datapath_bits = cfg.datapath.total_latch_bits
+    buffer_bits = {spec.name: spec.total_bits for spec in cfg.buffers()}
+    total_bits = datapath_bits + sum(buffer_bits.values())
+
+    added = 0.0
+    if slh_target > 1.0:
+        plan = optimize_hardening(inputs.per_bit_fit, slh_target, HARDENING_TECHNIQUES)
+        added += plan.area_overhead * datapath_bits
+    for name in ecc:
+        added += sec_ded_overhead(COMPONENT_WORD_BITS[name]) * buffer_bits[name]
+    return added / total_bits
+
+
+def plan_protection(
+    inputs: PlannerInputs,
+    fit_budget: float,
+    area_weight: float = 1.0,
+    runtime_weight: float = 1.0,
+) -> list[ProtectionPlan]:
+    """Enumerate protection stacks and rank the budget-compliant ones.
+
+    Args:
+        inputs: Measured characteristics (see :class:`PlannerInputs`).
+        fit_budget: The accelerator's FIT allowance.
+        area_weight, runtime_weight: Relative cost weights for ranking.
+
+    Returns:
+        All enumerated plans, compliant ones first, each group sorted by
+        weighted cost; ``plans[0]`` is the recommendation (it may still
+        exceed the budget if no stack can meet it).
+    """
+    if fit_budget <= 0:
+        raise ValueError("fit_budget must be positive")
+    cfg = inputs.config
+    component_names = tuple(spec.name for spec in cfg.buffers())
+    sed_runtime = (
+        inputs.act_elements_per_inference / inputs.macs_per_inference
+        if inputs.macs_per_inference
+        else 0.0
+    )
+
+    # ECC choices: none, the two big structures, or everything — the
+    # paper's observation that small scratchpads are poor ECC targets is
+    # reflected in their higher per-word overhead, so the solver decides.
+    ecc_choices: list[tuple[str, ...]] = [
+        (),
+        ("Global Buffer",),
+        ("Global Buffer", "Filter SRAM"),
+        component_names,
+    ]
+
+    plans: list[ProtectionPlan] = []
+    for use_sed, slh_target, ecc in product((False, True), SLH_TARGET_OPTIONS, ecc_choices):
+        recall = inputs.sed_recall if use_sed else 0.0
+        fit = eyeriss_total_fit(
+            cfg, {"datapath": inputs.datapath_sdc}, inputs.buffer_sdc, detector_recall=recall
+        )
+        fit["datapath"] /= slh_target
+        for name in ecc:
+            fit[name] *= ECC_RESIDUAL
+        total = sum(v for k, v in fit.items() if k != "total")
+        plans.append(
+            ProtectionPlan(
+                use_sed=use_sed,
+                slh_target=slh_target,
+                ecc_components=ecc,
+                total_fit=total,
+                area_overhead=_area_overhead(inputs, slh_target, ecc),
+                runtime_overhead=sed_runtime if use_sed else 0.0,
+                components={k: v for k, v in fit.items() if k != "total"},
+            )
+        )
+
+    def cost(plan: ProtectionPlan) -> float:
+        return area_weight * plan.area_overhead + runtime_weight * plan.runtime_overhead
+
+    compliant = sorted((p for p in plans if p.total_fit <= fit_budget), key=cost)
+    over = sorted((p for p in plans if p.total_fit > fit_budget), key=lambda p: p.total_fit)
+    return compliant + over

@@ -1,0 +1,101 @@
+"""Result serialization: campaigns and experiment outputs to JSON.
+
+Fault-injection campaigns are expensive; persisting their summaries lets
+downstream analysis (plotting, regression tracking, cross-machine
+comparison) run without re-injecting.  ``to_jsonable`` sanitizes the
+numpy/dataclass-laden experiment result dictionaries that
+``repro.experiments.*.run`` produce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.campaign import CampaignResult
+from repro.core.outcome import SDC_CLASSES
+
+__all__ = ["to_jsonable", "campaign_summary", "save_json", "load_json"]
+
+
+def to_jsonable(obj: object) -> object:
+    """Recursively convert an experiment result into JSON-safe types.
+
+    Handles numpy scalars/arrays, dataclasses, tuples (including
+    tuple-keyed dicts, which become ``"a|b"`` string keys), and the
+    non-finite floats JSON cannot express (mapped to strings).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if np.isnan(obj):
+            return "nan"
+        if np.isinf(obj):
+            return "inf" if obj > 0 else "-inf"
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return to_jsonable(float(obj))
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if isinstance(k, tuple):
+                k = "|".join(str(p) for p in k)
+            out[str(k)] = to_jsonable(v)
+        return out
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    return str(obj)
+
+
+def campaign_summary(result: CampaignResult) -> dict:
+    """Compact JSON-ready summary of a campaign (no per-trial records)."""
+    summary = {
+        "spec": to_jsonable(result.spec),
+        "n_trials": result.n_trials,
+        "masked_fraction": result.masked_fraction,
+        "sdc": {},
+        "by_bit": {},
+        "by_block": {},
+        "by_site": {},
+    }
+    for cls in SDC_CLASSES:
+        rate = result.sdc_rate(cls)
+        summary["sdc"][cls] = {
+            "p": rate.p,
+            "ci95": rate.ci95_halfwidth,
+            "successes": rate.successes,
+            "n": rate.n,
+        }
+    summary["by_bit"] = {str(b): r.p for b, r in result.rate_by_bit().items()}
+    summary["by_block"] = {str(b): r.p for b, r in result.rate_by_block().items()}
+    summary["by_site"] = {s: r.p for s, r in result.rate_by_site().items()}
+    quality = result.detection_quality()
+    if quality.total_injected:
+        summary["detection"] = {
+            "precision": quality.precision,
+            "recall": quality.recall,
+            "total_sdc": quality.total_sdc,
+        }
+    return summary
+
+
+def save_json(obj: object, path: str | Path) -> Path:
+    """Serialize ``obj`` (sanitized) to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> object:
+    """Load a previously saved JSON artifact."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,83 @@
+"""Rate estimation with 95% confidence intervals.
+
+The paper reports every SDC probability with a 95% confidence interval
+("error bars ... calculated based on 95% confidence intervals").  The
+normal (Wald) approximation matches that methodology; a Wilson interval
+is also provided for small-sample robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RateEstimate", "wilson_interval", "combine_counts"]
+
+_Z95 = 1.959963984540054  # two-sided 95% normal quantile
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with its sampling uncertainty.
+
+    Attributes:
+        successes: Number of positive trials.
+        n: Number of trials.
+    """
+
+    successes: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 0 or not 0 <= self.successes <= max(self.n, 0):
+            raise ValueError(f"invalid counts: {self.successes}/{self.n}")
+
+    @property
+    def p(self) -> float:
+        """Point estimate (0 when there are no trials)."""
+        return self.successes / self.n if self.n else 0.0
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the 95% Wald interval (the paper's error bar)."""
+        if self.n == 0:
+            return 0.0
+        p = self.p
+        return _Z95 * np.sqrt(p * (1.0 - p) / self.n)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """95% Wald interval clipped to [0, 1]."""
+        h = self.ci95_halfwidth
+        return (max(0.0, self.p - h), min(1.0, self.p + h))
+
+    def wilson95(self) -> tuple[float, float]:
+        """95% Wilson score interval (better behaved near 0 and 1)."""
+        return wilson_interval(self.successes, self.n)
+
+    def __str__(self) -> str:
+        return f"{100 * self.p:.2f}% (+/-{100 * self.ci95_halfwidth:.2f}%, n={self.n})"
+
+
+def wilson_interval(successes: int, n: int) -> tuple[float, float]:
+    """Wilson 95% score interval for a binomial proportion."""
+    if n == 0:
+        return (0.0, 1.0)
+    p = successes / n
+    z2 = _Z95 * _Z95
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2 * n)) / denom
+    half = (_Z95 / denom) * np.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    # Guard against float rounding excluding the point estimate at p=0/1.
+    lo = min(max(0.0, center - half), p)
+    hi = max(min(1.0, center + half), p)
+    return (lo, hi)
+
+
+def combine_counts(estimates: list[RateEstimate]) -> RateEstimate:
+    """Pool several rate estimates (summing successes and trials)."""
+    return RateEstimate(
+        successes=sum(e.successes for e in estimates),
+        n=sum(e.n for e in estimates),
+    )

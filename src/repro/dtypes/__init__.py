@@ -1,0 +1,37 @@
+"""Bit-exact numeric formats evaluated by the paper (Table 3)."""
+
+from repro.dtypes.base import BitField, DataType
+from repro.dtypes.fixedpoint import (
+    FXP_16B_RB10,
+    FXP_32B_RB10,
+    FXP_32B_RB26,
+    FixedPointType,
+)
+from repro.dtypes.floating import DOUBLE, FLOAT, FLOAT16, FloatType
+from repro.dtypes.registry import (
+    DTYPES,
+    FIXED_TYPES,
+    FLOAT_TYPES,
+    describe,
+    describe_all,
+    get_dtype,
+)
+
+__all__ = [
+    "BitField",
+    "DataType",
+    "FloatType",
+    "FixedPointType",
+    "DOUBLE",
+    "FLOAT",
+    "FLOAT16",
+    "FXP_16B_RB10",
+    "FXP_32B_RB10",
+    "FXP_32B_RB26",
+    "DTYPES",
+    "FLOAT_TYPES",
+    "FIXED_TYPES",
+    "get_dtype",
+    "describe",
+    "describe_all",
+]

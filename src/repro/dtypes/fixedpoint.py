@@ -1,0 +1,145 @@
+"""Two's-complement saturating fixed-point codecs (Table 3).
+
+The paper evaluates three layouts, written ``<width>b_rb<frac>``: a sign
+bit, ``width - 1 - frac`` integer bits and ``frac`` fraction bits, e.g.
+``16b_rb10`` = 1 sign + 5 integer + 10 fraction bits.  Arithmetic uses
+round-to-nearest-even quantization and saturates any value beyond the
+dynamic range to the nearest rail (paper section 4.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import BitField, DataType
+
+__all__ = ["FixedPointType", "FXP_16B_RB10", "FXP_32B_RB10", "FXP_32B_RB26"]
+
+
+class FixedPointType(DataType):
+    """A two's-complement fixed-point format with saturation.
+
+    Args:
+        width: Total bit width (including sign).
+        frac_bits: Number of fraction (radix) bits; the paper's ``rb``.
+        name: Optional explicit name; defaults to ``"<w>b_rb<f>"``.
+    """
+
+    is_float = False
+
+    def __init__(self, width: int, frac_bits: int, name: str | None = None):
+        if not 2 <= width <= 63:
+            raise ValueError(f"unsupported fixed-point width {width}")
+        if not 0 <= frac_bits <= width - 1:
+            raise ValueError(f"frac_bits {frac_bits} out of range for width {width}")
+        self.width = width
+        self.frac_bits = frac_bits
+        self.int_bits = width - 1 - frac_bits
+        self.name = name or f"{width}b_rb{frac_bits}"
+        fields: list[BitField] = []
+        if frac_bits:
+            fields.append(BitField("fraction", 0, frac_bits - 1))
+        if self.int_bits:
+            fields.append(BitField("integer", frac_bits, width - 2))
+        fields.append(BitField("sign", width - 1, width - 1))
+        self.fields = tuple(fields)
+        self._scale = float(2**frac_bits)
+        self._imax = 2 ** (width - 1) - 1
+        self._imin = -(2 ** (width - 1))
+        self._mask = np.uint64((1 << width) - 1)
+
+    # -- integer representation helpers ---------------------------------- #
+    def to_int(self, x: np.ndarray) -> np.ndarray:
+        """Quantize to the scaled-integer representation (int64)."""
+        x = np.asarray(x, dtype=np.float64)
+        scaled = np.rint(x * self._scale)
+        # NaN (possible after a float-side computation) saturates to 0,
+        # matching a hardware fixed-point converter's flush behaviour.
+        scaled = np.nan_to_num(scaled, nan=0.0, posinf=self._imax, neginf=self._imin)
+        return np.clip(scaled, self._imin, self._imax).astype(np.int64)
+
+    def from_int(self, ints: np.ndarray) -> np.ndarray:
+        """Map scaled integers back to real values."""
+        return np.asarray(ints, dtype=np.float64) / self._scale
+
+    # -- DataType interface ------------------------------------------------ #
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        return self.from_int(self.to_int(x))
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        ints = self.to_int(x)
+        return ints.astype(np.uint64) & self._mask
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint64) & self._mask
+        ints = bits.astype(np.int64)
+        sign_bit = np.int64(1) << np.int64(self.width - 1)
+        ints = np.where(ints & sign_bit, ints - np.int64(1 << self.width), ints)
+        return self.from_int(ints)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # A w x w multiplier produces a 2w-bit product with 2*frac fraction
+        # bits; the product latch rounds it back to the storage format.
+        prod = np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64)
+        return self.quantize(prod)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.quantize(np.asarray(a, dtype=np.float64) + np.asarray(b, dtype=np.float64))
+
+    def partials(self, products: np.ndarray) -> np.ndarray:
+        ints = self.to_int(products)
+        raw = np.cumsum(ints)
+        if raw.size and (raw.max(initial=0) > self._imax or raw.min(initial=0) < self._imin):
+            # Saturation engaged mid-chain: replay sequentially so each
+            # partial sum clips exactly like the accumulator register.
+            out = np.empty_like(raw)
+            acc = 0
+            for i, v in enumerate(ints):
+                acc = min(max(acc + int(v), self._imin), self._imax)
+                out[i] = acc
+            raw = out
+        return self.from_int(raw)
+
+    def accumulate(self, products: np.ndarray) -> float:
+        chain = self.partials(products)
+        return float(chain[-1]) if chain.size else 0.0
+
+    def accumulate_batch(self, products: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        products = np.asarray(products, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64)
+        if products.ndim != 2 or bias.shape[0] != products.shape[0]:
+            raise ValueError("products must be (n, length) with one bias per row")
+        ints = self.to_int(np.concatenate([bias[:, None], products], axis=1))
+        raw = np.cumsum(ints, axis=1)
+        out = raw[:, -1].astype(np.float64)
+        # Rows whose running sum ever left the rails need the exact
+        # saturating replay; everywhere else cumsum is already exact.
+        bad = (raw.max(axis=1) > self._imax) | (raw.min(axis=1) < self._imin)
+        for r in np.nonzero(bad)[0]:
+            acc = 0
+            for v in ints[r]:
+                acc = min(max(acc + int(v), self._imin), self._imax)
+            out[r] = acc
+        return self.from_int(out)
+
+    # -- range -------------------------------------------------------------- #
+    @property
+    def max_value(self) -> float:
+        return self._imax / self._scale
+
+    @property
+    def min_value(self) -> float:
+        return self._imin / self._scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment (one LSB)."""
+        return 1.0 / self._scale
+
+
+#: 16-bit: 1 sign, 5 integer, 10 fraction bits (Eyeriss's native format).
+FXP_16B_RB10 = FixedPointType(16, 10)
+#: 32-bit: 1 sign, 21 integer, 10 fraction bits (wide dynamic range).
+FXP_32B_RB10 = FixedPointType(32, 10)
+#: 32-bit: 1 sign, 5 integer, 26 fraction bits (narrow range, high precision).
+FXP_32B_RB26 = FixedPointType(32, 26)

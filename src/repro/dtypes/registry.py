@@ -1,0 +1,64 @@
+"""Registry of the paper's six data types (Table 3).
+
+Provides name-based lookup used throughout the experiment harness and a
+``describe_all`` helper that regenerates Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.dtypes.base import DataType
+from repro.dtypes.fixedpoint import FXP_16B_RB10, FXP_32B_RB10, FXP_32B_RB26
+from repro.dtypes.floating import DOUBLE, FLOAT, FLOAT16
+
+__all__ = [
+    "DTYPES",
+    "FLOAT_TYPES",
+    "FIXED_TYPES",
+    "get_dtype",
+    "describe",
+    "describe_all",
+]
+
+#: All evaluated formats, keyed by paper name, in Table 3 order.
+DTYPES: dict[str, DataType] = {
+    "DOUBLE": DOUBLE,
+    "FLOAT": FLOAT,
+    "FLOAT16": FLOAT16,
+    "32b_rb26": FXP_32B_RB26,
+    "32b_rb10": FXP_32B_RB10,
+    "16b_rb10": FXP_16B_RB10,
+}
+
+#: Floating-point subset (paper's "FP").
+FLOAT_TYPES: tuple[str, ...] = ("DOUBLE", "FLOAT", "FLOAT16")
+#: Fixed-point subset (paper's "FxP").
+FIXED_TYPES: tuple[str, ...] = ("32b_rb26", "32b_rb10", "16b_rb10")
+
+
+def get_dtype(name: str) -> DataType:
+    """Look up a data type by its paper name.
+
+    Raises:
+        KeyError: with the list of known names, if ``name`` is unknown.
+    """
+    try:
+        return DTYPES[name]
+    except KeyError:
+        raise KeyError(f"unknown dtype {name!r}; known: {sorted(DTYPES)}") from None
+
+
+def describe(dt: DataType) -> dict:
+    """Return a Table-3-style description row for one data type."""
+    return {
+        "name": dt.name,
+        "kind": "FP" if dt.is_float else "FxP",
+        "width": dt.width,
+        "fields": {f.name: f.width for f in dt.fields},
+        "max_value": dt.max_value,
+        "min_value": dt.min_value,
+    }
+
+
+def describe_all() -> list[dict]:
+    """Regenerate Table 3: one description row per evaluated data type."""
+    return [describe(dt) for dt in DTYPES.values()]

@@ -1,0 +1,5 @@
+"""One experiment module per table/figure of the paper; see runner.py."""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

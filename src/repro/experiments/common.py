@@ -1,0 +1,61 @@
+"""Shared infrastructure for the per-table/figure experiment modules.
+
+Every experiment module exposes:
+
+- ``run(cfg: ExperimentConfig) -> dict``: compute the artifact's data.
+- ``render(result: dict) -> str``: paper-style plain-text rendering.
+
+The :mod:`repro.experiments.runner` CLI dispatches on experiment id and
+wires up trial counts, scale, seed and parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.campaign import CampaignResult, CampaignSpec, run_campaign
+
+__all__ = ["ExperimentConfig", "campaign", "PAPER_NETWORKS", "IMAGENET_NETWORKS"]
+
+#: All networks, Table 2 order.
+PAPER_NETWORKS = ("ConvNet", "AlexNet", "CaffeNet", "NiN")
+#: Networks using the ImageNet-like corpus (everything but ConvNet).
+IMAGENET_NETWORKS = ("AlexNet", "CaffeNet", "NiN")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs common to every experiment.
+
+    Attributes:
+        trials: Baseline injection count per campaign (experiments scale
+            this down for fine-grained sweeps such as per-bit campaigns).
+        scale: Network scale profile.
+        seed: Root seed.
+        jobs: Worker processes for campaigns (1 = inline).
+    """
+
+    trials: int = 300
+    scale: str = "reduced"
+    seed: int = 0
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("trials must be positive")
+
+
+_campaign_cache: dict[CampaignSpec, CampaignResult] = {}
+
+
+def campaign(spec: CampaignSpec, jobs: int = 1) -> CampaignResult:
+    """Run (or reuse) a campaign; memoized per spec within the process.
+
+    Several experiments share identical campaigns (e.g. Figure 3's rates
+    feed Table 6's FIT calculation); the memo avoids re-running them.
+    """
+    cached = _campaign_cache.get(spec)
+    if cached is None:
+        cached = run_campaign(spec, jobs=jobs)
+        _campaign_cache[spec] = cached
+    return cached

@@ -1,0 +1,90 @@
+"""Extension: reliability of the Proteus reduced-precision protocol.
+
+Paper section 6.1 mentions Judd et al.'s Proteus — store data in a short
+representation in memory, unfold into the (wider) datapath format for
+computation — and explicitly defers its reliability evaluation to future
+work.  This experiment carries that evaluation out: it compares a
+conventional design (32b_rb10 in both datapath and buffers) against a
+Proteus design (32b_rb10 datapath, 16b_rb10 buffer storage) on buffer
+fault injections.
+
+Two effects compound in Proteus's favour: buffer capacity halves (half
+the raw upset rate, Equation 1) and the stored word has no redundant
+dynamic range (a flipped high bit saturates near the value cluster
+instead of escaping to ~2^20).
+"""
+
+from __future__ import annotations
+
+from repro.accel.eyeriss import EYERISS_16NM
+from repro.core.campaign import CampaignSpec
+from repro.core.fit import buffer_fit
+from repro.experiments.common import ExperimentConfig, campaign
+from repro.experiments.table8_buffer_fit import COMPONENT_SCOPES
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "proteus"
+TITLE = "Extension: Proteus reduced-precision storage vs wide storage (AlexNet)"
+
+NETWORK = "AlexNet"
+DATAPATH_DTYPE = "32b_rb10"
+STORAGE_DTYPE = "16b_rb10"
+#: Proteus halves buffered word width: 16b stored vs 32b.
+STORAGE_SIZE_RATIO = 0.5
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns per-component SDC and FIT for both designs."""
+    out: dict = {"config": cfg, "components": {}}
+    for component, scope in COMPONENT_SCOPES.items():
+        wide_spec = CampaignSpec(
+            network=NETWORK, dtype=DATAPATH_DTYPE, target=scope,
+            n_trials=cfg.trials, scale=cfg.scale, seed=cfg.seed + 600,
+        )
+        proteus_spec = CampaignSpec(
+            network=NETWORK, dtype=DATAPATH_DTYPE, target=scope,
+            n_trials=cfg.trials, scale=cfg.scale, seed=cfg.seed + 600,
+            storage_dtype=STORAGE_DTYPE,
+        )
+        wide_sdc = campaign(wide_spec, jobs=cfg.jobs).sdc_rate().p
+        proteus_sdc = campaign(proteus_spec, jobs=cfg.jobs).sdc_rate().p
+        spec16 = EYERISS_16NM.buffer_named(component)
+        # Eyeriss's table sizes assume 16-bit words; a 32-bit design
+        # doubles them, Proteus keeps the 16-bit storage footprint.
+        wide_fit = buffer_fit(spec16, wide_sdc).fit * 2.0
+        proteus_fit = buffer_fit(spec16, proteus_sdc).fit * 2.0 * STORAGE_SIZE_RATIO
+        out["components"][component] = {
+            "wide_sdc": wide_sdc,
+            "proteus_sdc": proteus_sdc,
+            "wide_fit": wide_fit,
+            "proteus_fit": proteus_fit,
+        }
+    out["wide_total"] = sum(c["wide_fit"] for c in out["components"].values())
+    out["proteus_total"] = sum(c["proteus_fit"] for c in out["components"].values())
+    return out
+
+
+def render(result: dict) -> str:
+    rows = []
+    for component, d in result["components"].items():
+        rows.append([
+            component,
+            f"{100 * d['wide_sdc']:.2f}%",
+            f"{100 * d['proteus_sdc']:.2f}%",
+            f"{d['wide_fit']:.4g}",
+            f"{d['proteus_fit']:.4g}",
+        ])
+    table = format_table(
+        ["component", "wide SDC", "Proteus SDC", "wide FIT", "Proteus FIT"],
+        rows,
+        title=TITLE,
+    )
+    wide, prot = result["wide_total"], result["proteus_total"]
+    gain = wide / prot if prot > 0 else float("inf")
+    return (
+        table
+        + f"\ntotal buffer FIT: wide {wide:.4g} vs Proteus {prot:.4g} "
+        + f"({gain:.1f}x reduction: half the bits, none of the redundant range)"
+    )

@@ -1,0 +1,58 @@
+"""Figure 3: SDC probability per data type and network (datapath faults).
+
+Reproduces both panels: (a) AlexNet/CaffeNet/NiN and (b) ConvNet, each
+with all four SDC classes across the six data types.  The paper's
+findings to check: SDC probability varies strongly across data types
+(32b_rb10 worst, 32b_rb26/16b_rb10 best), ConvNet is the most SDC-prone
+network, and for the 1000-class networks the four SDC classes nearly
+coincide while ConvNet spreads them out.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignSpec
+from repro.core.outcome import SDC_CLASSES
+from repro.dtypes.registry import DTYPES
+from repro.experiments.common import PAPER_NETWORKS, ExperimentConfig, campaign
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "fig3"
+TITLE = "Figure 3: SDC probability per data type / network (PE latch faults)"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns ``{network: {dtype: {sdc_class: (p, ci)}}}``."""
+    out: dict = {"config": cfg, "rates": {}}
+    for network in PAPER_NETWORKS:
+        per_dtype: dict = {}
+        for dtype in DTYPES:
+            spec = CampaignSpec(
+                network=network,
+                dtype=dtype,
+                target="datapath",
+                n_trials=cfg.trials,
+                scale=cfg.scale,
+                seed=cfg.seed,
+            )
+            result = campaign(spec, jobs=cfg.jobs)
+            per_dtype[dtype] = {
+                c: (r.p, r.ci95_halfwidth, r.n) for c, r in result.sdc_rates().items()
+            }
+        out["rates"][network] = per_dtype
+    return out
+
+
+def render(result: dict) -> str:
+    rows = []
+    for network, per_dtype in result["rates"].items():
+        for dtype, classes in per_dtype.items():
+            cells = [network, dtype]
+            for c in SDC_CLASSES:
+                p, ci, n = classes[c]
+                cells.append(f"{100 * p:.2f}% (+/-{100 * ci:.2f})" if n else "n/a")
+            rows.append(cells)
+    return format_table(
+        ["network", "dtype", "SDC-1", "SDC-5", "SDC-10%", "SDC-20%"], rows, title=TITLE
+    )

@@ -1,0 +1,99 @@
+"""Figure 4: SDC probability per flipped bit position.
+
+Reproduces the four panels: NiN with FLOAT (4a) and FLOAT16 (4b),
+CaffeNet with 32b_rb26 (4c) and 32b_rb10 (4d).  Expected shape: only
+high-order exponent bits (FP) / integer bits (FxP) have non-zero SDC
+probability; the narrower the dynamic range (FLOAT16 vs FLOAT, rb26 vs
+rb10) the lower the per-bit sensitivity.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignSpec
+from repro.dtypes.registry import get_dtype
+from repro.experiments.common import ExperimentConfig, campaign
+from repro.utils.ascii_plot import bar_chart
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render", "PANELS"]
+
+EXPERIMENT_ID = "fig4"
+TITLE = "Figure 4: SDC probability by bit position"
+
+#: (panel, network, dtype) triplets as in the paper.
+PANELS = (
+    ("4a", "NiN", "FLOAT"),
+    ("4b", "NiN", "FLOAT16"),
+    ("4c", "CaffeNet", "32b_rb26"),
+    ("4d", "CaffeNet", "32b_rb10"),
+)
+
+
+def per_bit_rates(
+    network: str,
+    dtype_name: str,
+    cfg: ExperimentConfig,
+    trials_per_bit: int | None = None,
+) -> dict[int, tuple[float, float, int]]:
+    """SDC-1 probability per bit position for one (network, dtype).
+
+    Runs one pinned-bit campaign per bit position so every bit gets equal
+    sampling (the paper injects a fixed count per latch bit).
+    """
+    dtype = get_dtype(dtype_name)
+    per_bit = trials_per_bit if trials_per_bit is not None else max(10, cfg.trials // dtype.width)
+    rates: dict[int, tuple[float, float, int]] = {}
+    for bit in range(dtype.width):
+        spec = CampaignSpec(
+            network=network,
+            dtype=dtype_name,
+            target="datapath",
+            n_trials=per_bit,
+            scale=cfg.scale,
+            seed=cfg.seed + bit,
+            bit=bit,
+        )
+        r = campaign(spec, jobs=cfg.jobs).sdc_rate("sdc1")
+        rates[bit] = (r.p, r.ci95_halfwidth, r.n)
+    return rates
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns ``{panel: {"network", "dtype", "rates": {bit: (p, ci, n)}}}``."""
+    out: dict = {"config": cfg, "panels": {}}
+    for panel, network, dtype_name in PANELS:
+        out["panels"][panel] = {
+            "network": network,
+            "dtype": dtype_name,
+            "rates": per_bit_rates(network, dtype_name, cfg),
+        }
+    return out
+
+
+def render(result: dict) -> str:
+    sections = []
+    for panel, data in result["panels"].items():
+        dtype = get_dtype(data["dtype"])
+        rows = []
+        for bit, (p, ci, _n) in sorted(data["rates"].items()):
+            if p == 0.0:
+                continue  # the paper omits zero-probability bits
+            rows.append([bit, dtype.field_of(bit), f"{100 * p:.2f}%", f"+/-{100 * ci:.2f}%"])
+        if not rows:
+            rows = [["-", "-", "all zero", "-"]]
+        sections.append(
+            format_table(
+                ["bit", "field", "SDC-1", "ci95"],
+                rows,
+                title=f"{TITLE} [{panel}] {data['network']} / {data['dtype']}",
+            )
+        )
+        bits = sorted(data["rates"])
+        sections.append(
+            bar_chart(
+                bits,
+                [data["rates"][b][0] for b in bits],
+                title=f"per-bit SDC-1 profile ({data['dtype']}, lsb -> msb)",
+            )
+        )
+    return "\n\n".join(sections)

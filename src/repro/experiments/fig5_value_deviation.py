@@ -1,0 +1,96 @@
+"""Figure 5: ACT values before/after errors, SDC versus benign.
+
+For AlexNet/FLOAT16 datapath faults, the paper scatter-plots the victim
+values before (clustered near 0) and after corruption, split by outcome:
+errors producing large deviations almost always cause SDCs (Figure 5a)
+while benign errors stay near the fault-free cluster (Figure 5b).  It
+also reports that ~80% of SDC-causing erroneous values fall outside the
+layer's fault-free range versus ~10% of benign ones — the observation
+that powers the symptom detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.campaign import CampaignSpec
+from repro.experiments.common import ExperimentConfig, campaign
+from repro.nn.profiling import profile_ranges
+from repro.utils.tables import format_table
+from repro.zoo.registry import eval_inputs, get_network
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Figure 5: value deviation of SDC vs benign errors (AlexNet, FLOAT16)"
+
+NETWORK = "AlexNet"
+DTYPE = "FLOAT16"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Collect (before, after) victim-value pairs split by outcome."""
+    spec = CampaignSpec(
+        network=NETWORK,
+        dtype=DTYPE,
+        target="datapath",
+        n_trials=cfg.trials,
+        scale=cfg.scale,
+        seed=cfg.seed,
+    )
+    result = campaign(spec, jobs=cfg.jobs)
+    network = get_network(NETWORK, cfg.scale)
+    profile = profile_ranges(network, eval_inputs(NETWORK, 3, cfg.scale, seed=100), scope="all")
+    lo = min(r.lo for r in profile.ranges.values())
+    hi = max(r.hi for r in profile.ranges.values())
+
+    sdc_pairs, benign_pairs = [], []
+    for rec in result.records:
+        if rec.outcome.masked:
+            continue
+        pair = (rec.value_before, rec.value_after)
+        (sdc_pairs if rec.outcome.sdc1 else benign_pairs).append(pair)
+
+    def out_of_range_fraction(pairs: list[tuple[float, float]]) -> float:
+        if not pairs:
+            return 0.0
+        after = np.array([p[1] for p in pairs])
+        with np.errstate(invalid="ignore"):
+            outside = (after < lo) | (after > hi) | ~np.isfinite(after)
+        return float(outside.mean())
+
+    return {
+        "config": cfg,
+        "range": (lo, hi),
+        "sdc_pairs": sdc_pairs,
+        "benign_pairs": benign_pairs,
+        "sdc_out_of_range": out_of_range_fraction(sdc_pairs),
+        "benign_out_of_range": out_of_range_fraction(benign_pairs),
+    }
+
+
+def _magnitude_stats(pairs: list[tuple[float, float]]) -> tuple[float, float]:
+    if not pairs:
+        return (0.0, 0.0)
+    after = np.array([p[1] for p in pairs])
+    after = np.where(np.isfinite(after), after, np.nan)
+    return float(np.nanmedian(np.abs(after))), float(np.nanmax(np.abs(after), initial=0.0))
+
+
+def render(result: dict) -> str:
+    lo, hi = result["range"]
+    s_med, s_max = _magnitude_stats(result["sdc_pairs"])
+    b_med, b_max = _magnitude_stats(result["benign_pairs"])
+    rows = [
+        ["SDC-causing", len(result["sdc_pairs"]),
+         f"{100 * result['sdc_out_of_range']:.1f}%", f"{s_med:.3g}", f"{s_max:.3g}"],
+        ["benign", len(result["benign_pairs"]),
+         f"{100 * result['benign_out_of_range']:.1f}%", f"{b_med:.3g}", f"{b_max:.3g}"],
+    ]
+    table = format_table(
+        ["outcome", "samples", "corrupted value outside fault-free range",
+         "median |after|", "max |after|"],
+        rows,
+        title=TITLE,
+    )
+    return table + f"\nfault-free ACT range across layers: [{lo:.4g}, {hi:.4g}]"

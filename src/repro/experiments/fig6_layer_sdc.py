@@ -1,0 +1,64 @@
+"""Figure 6: SDC probability per layer position (FLOAT16).
+
+Paper findings to check: AlexNet/CaffeNet show *low* SDC probability in
+layers 1-2 (their LRNs normalize away large deviations) and *high* SDC
+probability in the fully-connected layers (faults manipulate output
+rankings directly); NiN and ConvNet, with no normalization layers, are
+relatively flat across their convolutional layers.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import CampaignSpec
+from repro.experiments.common import PAPER_NETWORKS, ExperimentConfig, campaign
+from repro.utils.tables import format_table
+from repro.zoo.registry import get_network
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Figure 6: SDC probability per layer position (FLOAT16 PE-latch faults)"
+
+DTYPE = "FLOAT16"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns ``{network: {block: (p, ci, n, kind)}}``."""
+    out: dict = {"config": cfg, "layers": {}}
+    for network_name in PAPER_NETWORKS:
+        network = get_network(network_name, cfg.scale)
+        kinds = network.block_kinds()
+        per_layer_trials = max(20, cfg.trials // network.n_blocks)
+        per_block: dict = {}
+        for li in network.mac_layer_indices():
+            block = network.layers[li].block
+            spec = CampaignSpec(
+                network=network_name,
+                dtype=DTYPE,
+                target="datapath",
+                n_trials=per_layer_trials,
+                scale=cfg.scale,
+                seed=cfg.seed + 1000 + li,
+                layer_index=li,
+            )
+            r = campaign(spec, jobs=cfg.jobs).sdc_rate("sdc1")
+            per_block[block] = (r.p, r.ci95_halfwidth, r.n, kinds[block])
+        out["layers"][network_name] = per_block
+    return out
+
+
+def render(result: dict) -> str:
+    sections = []
+    for network, per_block in result["layers"].items():
+        rows = [
+            [blk, kind, f"{100 * p:.2f}%", f"+/-{100 * ci:.2f}%", n]
+            for blk, (p, ci, n, kind) in sorted(per_block.items())
+        ]
+        sections.append(
+            format_table(
+                ["layer", "kind", "SDC-1", "ci95", "trials"],
+                rows,
+                title=f"{TITLE} — {network}",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,93 @@
+"""Figure 9 (and Table 9): selective latch hardening for AlexNet.
+
+Panel (a): total-latch FIT reduction versus fraction of latches
+protected (perfect protection, most-sensitive-first) for FLOAT16 and
+16b_rb10, with the paper's beta asymmetry measure and the uniform
+baseline.  Panels (b)/(c): latch area overhead versus target FIT
+reduction for each hardened design (RCC / SEUT / TMR) and the optimal
+multi-technique mix.  The paper's headline: ~100x FIT reduction at
+roughly 20% (FLOAT16) / 25% (16b_rb10) latch area overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hardening import (
+    HARDENING_TECHNIQUES,
+    coverage_curve,
+    fit_beta,
+    optimize_hardening,
+    single_technique_overhead,
+)
+from repro.dtypes.registry import get_dtype
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig4_bit_position import per_bit_rates
+from repro.utils.ascii_plot import sparkline
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render", "TARGETS_X"]
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Figure 9: selective latch hardening (AlexNet)"
+
+NETWORK = "AlexNet"
+DTYPES_SHOWN = ("FLOAT16", "16b_rb10")
+#: Target FIT-reduction factors swept in panels (b)/(c).
+TARGETS_X = (2.0, 6.3, 10.0, 37.0, 100.0)
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns per-dtype: per-bit FIT shares, beta, and overhead curves."""
+    out: dict = {"config": cfg, "dtypes": {}}
+    for dtype_name in DTYPES_SHOWN:
+        rates = per_bit_rates(NETWORK, dtype_name, cfg)
+        dtype = get_dtype(dtype_name)
+        per_bit_fit = np.array([rates[b][0] for b in range(dtype.width)])
+        fraction, reduction = coverage_curve(per_bit_fit)
+        beta = fit_beta(fraction, reduction)
+        curves: dict = {}
+        for tech in HARDENING_TECHNIQUES:
+            curves[tech.name] = [
+                single_technique_overhead(per_bit_fit, tech, t) for t in TARGETS_X
+            ]
+        curves["Multi"] = [
+            optimize_hardening(per_bit_fit, t).area_overhead if per_bit_fit.sum() > 0 else 0.0
+            for t in TARGETS_X
+        ]
+        out["dtypes"][dtype_name] = {
+            "per_bit_fit": per_bit_fit.tolist(),
+            "beta": beta,
+            "coverage": (fraction.tolist(), reduction.tolist()),
+            "overhead_curves": curves,
+        }
+    return out
+
+
+def render(result: dict) -> str:
+    sections = []
+    for dtype_name, data in result["dtypes"].items():
+        sections.append(
+            f"{TITLE} — {dtype_name}: beta = {data['beta']:.2f} "
+            f"(paper: FLOAT16 7.34, 16b_rb10 5.09)"
+        )
+        _fraction, reduction = data["coverage"]
+        sections.append(
+            "coverage curve (FIT reduction vs fraction protected): "
+            + sparkline(reduction, lo=0.0, hi=1.0)
+        )
+        rows = []
+        for i, target in enumerate(TARGETS_X):
+            row = [f"{target:g}x"]
+            for tech in ("RCC", "SEUT", "TMR", "Multi"):
+                v = data["overhead_curves"][tech][i]
+                row.append("unreachable" if v is None else f"{100 * v:.1f}%")
+            rows.append(row)
+        sections.append(
+            format_table(
+                ["target FIT reduction", "RCC", "SEUT", "TMR", "Multi"],
+                rows,
+                title=f"latch area overhead vs target — {dtype_name}",
+            )
+        )
+    return "\n\n".join(sections)

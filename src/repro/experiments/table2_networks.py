@@ -1,0 +1,29 @@
+"""Table 2: the four evaluated networks and their topologies."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentConfig
+from repro.utils.tables import format_table
+from repro.zoo.registry import describe_networks
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "table2"
+TITLE = "Table 2: networks used"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    return {"config": cfg, "networks": describe_networks(cfg.scale)}
+
+
+def render(result: dict) -> str:
+    rows = [
+        [d["network"], d["dataset"], d["output_candidates"], d["topology"],
+         f"{d['params']:,}", f"{d['macs']:,}"]
+        for d in result["networks"]
+    ]
+    return format_table(
+        ["network", "dataset", "output candidates", "topology", "params", "MACs"],
+        rows,
+        title=TITLE,
+    )

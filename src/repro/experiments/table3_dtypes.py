@@ -1,0 +1,31 @@
+"""Table 3: the six evaluated data types and their bit layouts."""
+
+from __future__ import annotations
+
+from repro.dtypes.registry import describe_all
+from repro.experiments.common import ExperimentConfig
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "table3"
+TITLE = "Table 3: data types used"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    return {"config": cfg, "dtypes": describe_all()}
+
+
+def render(result: dict) -> str:
+    rows = []
+    for d in result["dtypes"]:
+        fields = ", ".join(f"{n}:{w}b" for n, w in d["fields"].items())
+        rows.append(
+            [d["name"], d["kind"], f"{d['width']}-bit", fields,
+             f"[{d['min_value']:.4g}, {d['max_value']:.4g}]"]
+        )
+    return format_table(
+        ["name", "FP/FxP", "width", "bit fields (lsb->msb)", "dynamic range"],
+        rows,
+        title=TITLE,
+    )

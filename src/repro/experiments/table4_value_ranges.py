@@ -1,0 +1,54 @@
+"""Table 4: error-free per-layer ACT value ranges for every network.
+
+The ImageNet networks are weight-calibrated against the paper's ranges
+(see :mod:`repro.zoo.weights`), so this experiment doubles as the
+calibration audit: measured ranges should bracket the paper's values.
+ConvNet's ranges emerge from actual training.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import PAPER_NETWORKS, ExperimentConfig
+from repro.nn.profiling import profile_ranges
+from repro.utils.tables import format_table
+from repro.zoo.registry import eval_inputs, get_network
+from repro.zoo.weights import TABLE4_RANGES
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "table4"
+TITLE = "Table 4: fault-free ACT value range per layer"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns ``{network: [(layer, measured_lo, measured_hi, paper_lo, paper_hi)]}``."""
+    out: dict = {"config": cfg, "ranges": {}}
+    n_inputs = max(2, min(8, cfg.trials // 50))
+    for network_name in PAPER_NETWORKS:
+        network = get_network(network_name, cfg.scale)
+        inputs = eval_inputs(network_name, n_inputs, cfg.scale, seed=100)
+        profile = profile_ranges(network, inputs, scope="all")
+        paper = TABLE4_RANGES[network_name]
+        rows = []
+        for block, r in sorted(profile.ranges.items()):
+            p_lo, p_hi = paper[block - 1] if block - 1 < len(paper) else (float("nan"),) * 2
+            rows.append((block, r.lo, r.hi, p_lo, p_hi))
+        out["ranges"][network_name] = rows
+    return out
+
+
+def render(result: dict) -> str:
+    sections = []
+    for network, rows in result["ranges"].items():
+        table_rows = [
+            [blk, f"{lo:.4g}", f"{hi:.4g}", f"{plo:.4g}", f"{phi:.4g}"]
+            for blk, lo, hi, plo, phi in rows
+        ]
+        sections.append(
+            format_table(
+                ["layer", "measured min", "measured max", "paper min", "paper max"],
+                table_rows,
+                title=f"{TITLE} — {network}",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,83 @@
+"""Table 6: datapath FIT rate per data type and network.
+
+Combines the Figure-3 SDC probabilities with the canonical latch model
+(Equation 1): FIT = R_raw * latch_bits * SDC.  The PE count is Eyeriss's
+16nm projection; the latch population scales with the data width, so the
+FIT gap between data types exceeds their SDC gap (e.g. 32b_rb10 versus
+16b_rb10 differs both in sensitivity and in latch count).
+"""
+
+from __future__ import annotations
+
+from repro.accel.datapath import DatapathModel
+from repro.accel.eyeriss import EYERISS_16NM
+from repro.core.campaign import CampaignSpec
+from repro.core.fit import datapath_fit
+from repro.dtypes.registry import DTYPES, get_dtype
+from repro.experiments.common import PAPER_NETWORKS, ExperimentConfig, campaign
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "table6"
+TITLE = "Table 6: datapath FIT rate per data type and network (Eyeriss-16nm PE array)"
+
+#: Paper Table 6, for side-by-side comparison in the rendering.
+PAPER_TABLE6 = {
+    ("ConvNet", "FLOAT"): 1.76, ("AlexNet", "FLOAT"): 0.02,
+    ("CaffeNet", "FLOAT"): 0.03, ("NiN", "FLOAT"): 0.10,
+    ("ConvNet", "FLOAT16"): 0.91, ("AlexNet", "FLOAT16"): 0.009,
+    ("CaffeNet", "FLOAT16"): 0.009, ("NiN", "FLOAT16"): 0.008,
+    ("ConvNet", "32b_rb26"): 1.73, ("AlexNet", "32b_rb26"): 0.002,
+    ("CaffeNet", "32b_rb26"): 0.005, ("NiN", "32b_rb26"): 0.002,
+    ("ConvNet", "32b_rb10"): 2.45, ("AlexNet", "32b_rb10"): 0.42,
+    ("CaffeNet", "32b_rb10"): 0.41, ("NiN", "32b_rb10"): 0.54,
+    ("ConvNet", "16b_rb10"): 0.84, ("AlexNet", "16b_rb10"): 0.002,
+    ("CaffeNet", "16b_rb10"): 0.007, ("NiN", "16b_rb10"): 0.004,
+}
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns ``{(network, dtype): (fit, sdc_p, paper_fit)}``.
+
+    DOUBLE is measured too (it shares the Figure-3 campaigns) but the
+    paper's Table 6 omits it, so rows carry a None paper value.
+    """
+    out: dict = {"config": cfg, "fit": {}}
+    for network in PAPER_NETWORKS:
+        for dtype_name in DTYPES:
+            spec = CampaignSpec(
+                network=network,
+                dtype=dtype_name,
+                target="datapath",
+                n_trials=cfg.trials,
+                scale=cfg.scale,
+                seed=cfg.seed,
+            )
+            result = campaign(spec, jobs=cfg.jobs)
+            sdc = result.sdc_rate("sdc1").p
+            dp = DatapathModel(n_pes=EYERISS_16NM.n_pes, data_width=get_dtype(dtype_name).width)
+            total_fit = sum(c.fit for c in datapath_fit(dp, {"datapath": sdc}))
+            out["fit"][(network, dtype_name)] = (
+                total_fit,
+                sdc,
+                PAPER_TABLE6.get((network, dtype_name)),
+            )
+    return out
+
+
+def render(result: dict) -> str:
+    rows = []
+    for (network, dtype_name), (fit, sdc, paper) in result["fit"].items():
+        rows.append(
+            [
+                network,
+                dtype_name,
+                f"{100 * sdc:.2f}%",
+                f"{fit:.4g}",
+                f"{paper:.4g}" if paper is not None else "-",
+            ]
+        )
+    return format_table(
+        ["network", "dtype", "SDC-1", "measured FIT", "paper FIT"], rows, title=TITLE
+    )

@@ -1,0 +1,36 @@
+"""Table 7: Eyeriss microarchitecture parameters, 65nm silicon and the
+16nm projection used by every FIT calculation."""
+
+from __future__ import annotations
+
+from repro.accel.eyeriss import table7_rows
+from repro.experiments.common import ExperimentConfig
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render"]
+
+EXPERIMENT_ID = "table7"
+TITLE = "Table 7: Eyeriss parameters (16-bit data width, 2x per generation)"
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    return {"config": cfg, "rows": table7_rows()}
+
+
+def render(result: dict) -> str:
+    rows = [
+        [
+            r["feature_size"],
+            r["n_pe"],
+            f"{r['global_buffer_kb']:.4g}KB",
+            f"{r['filter_sram_kb']:.3g}KB",
+            f"{r['img_reg_kb']:.2g}KB",
+            f"{r['psum_reg_kb']:.2g}KB",
+        ]
+        for r in result["rows"]
+    ]
+    return format_table(
+        ["feature size", "No. of PE", "global buffer", "one Filter SRAM", "one Img REG", "one PSum REG"],
+        rows,
+        title=TITLE,
+    )

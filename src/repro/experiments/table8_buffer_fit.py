@@ -1,0 +1,64 @@
+"""Table 8: SDC probability and FIT rate per Eyeriss buffer component.
+
+Buffer faults are injected per component using the 16b_rb10 data type
+(Eyeriss's native format).  Expected shape: the deeper ImageNet networks
+are far more immune than ConvNet; Global Buffer and Filter SRAM dominate
+the FIT budget (large and heavily reused) while Img REG and PSum REG
+stay near zero (small, short residency); buffer FIT exceeds datapath FIT
+by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.accel.eyeriss import EYERISS_16NM
+from repro.core.campaign import CampaignSpec
+from repro.core.fit import buffer_fit
+from repro.experiments.common import PAPER_NETWORKS, ExperimentConfig, campaign
+from repro.utils.tables import format_table
+
+__all__ = ["run", "render", "COMPONENT_SCOPES"]
+
+EXPERIMENT_ID = "table8"
+TITLE = "Table 8: SDC probability / FIT per Eyeriss buffer (16b_rb10)"
+
+DTYPE = "16b_rb10"
+
+#: Buffer component -> injection scope mapping (see repro.accel.buffers).
+COMPONENT_SCOPES = {
+    "Global Buffer": "next_layer",
+    "Filter SRAM": "layer_weight",
+    "Img REG": "row_activation",
+    "PSum REG": "single_read",
+}
+
+
+def run(cfg: ExperimentConfig) -> dict:
+    """Returns ``{network: {component: (sdc_p, ci, fit)}}``."""
+    out: dict = {"config": cfg, "buffers": {}}
+    for network in PAPER_NETWORKS:
+        per_component: dict = {}
+        for component, scope in COMPONENT_SCOPES.items():
+            spec = CampaignSpec(
+                network=network,
+                dtype=DTYPE,
+                target=scope,
+                n_trials=cfg.trials,
+                scale=cfg.scale,
+                seed=cfg.seed + 300,
+            )
+            result = campaign(spec, jobs=cfg.jobs)
+            rate = result.sdc_rate("sdc1")
+            fit = buffer_fit(EYERISS_16NM.buffer_named(component), rate.p).fit
+            per_component[component] = (rate.p, rate.ci95_halfwidth, fit)
+        out["buffers"][network] = per_component
+    return out
+
+
+def render(result: dict) -> str:
+    rows = []
+    for network, per_component in result["buffers"].items():
+        for component, (p, ci, fit) in per_component.items():
+            rows.append(
+                [network, component, f"{100 * p:.2f}% (+/-{100 * ci:.2f})", f"{fit:.4g}"]
+            )
+    return format_table(["network", "component", "SDC prob", "FIT"], rows, title=TITLE)

@@ -1,0 +1,48 @@
+"""NumPy DNN inference and training engine (replaces the paper's Tiny-CNN)."""
+
+from repro.nn.im2col import col2im, conv_out_size, im2col, patch_indices
+from repro.nn.layers import (
+    LRN,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MacChain,
+    MacLayer,
+    MaxPool2D,
+    ReLU,
+    Shape,
+    Softmax,
+)
+from repro.nn.network import InferenceResult, Network
+from repro.nn.profiling import BlockRange, RangeProfile, profile_ranges
+from repro.nn.training import SGDTrainer, TrainReport, accuracy, softmax_cross_entropy
+
+__all__ = [
+    "col2im",
+    "conv_out_size",
+    "im2col",
+    "patch_indices",
+    "Layer",
+    "MacLayer",
+    "MacChain",
+    "Shape",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "Softmax",
+    "Flatten",
+    "LRN",
+    "MaxPool2D",
+    "GlobalAvgPool",
+    "Network",
+    "InferenceResult",
+    "BlockRange",
+    "RangeProfile",
+    "profile_ranges",
+    "SGDTrainer",
+    "TrainReport",
+    "accuracy",
+    "softmax_cross_entropy",
+]

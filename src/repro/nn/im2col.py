@@ -1,0 +1,127 @@
+"""im2col / col2im transforms for vectorized convolution and pooling.
+
+Convolution on the accelerator is a sea of MACs; in the simulator we lower
+it to a single BLAS matmul per layer via im2col (the standard
+vectorize-the-loop idiom from the HPC guides).  col2im is the adjoint,
+needed by the training engine's convolution backward pass.
+
+All fmaps are NCHW float64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_out_size", "im2col", "col2im", "patch_indices"]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a conv/pool window sweep.
+
+    Raises:
+        ValueError: if the geometry yields a non-positive output size.
+    """
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(f"invalid geometry: size={size} kernel={kernel} stride={stride} pad={pad}")
+    return out
+
+
+def _col_indices(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping padded-input positions to column entries."""
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(w, kw, stride, pad)
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(oh), ow)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(ow), oh)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)  # (c*kh*kw, oh*ow)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, oh, ow
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold sliding windows of ``x`` into columns.
+
+    Args:
+        x: Input of shape ``(n, c, h, w)``.
+        kh, kw: Kernel extent.
+        stride: Window stride (same in both dims).
+        pad: Zero padding (same on all sides).
+
+    Returns:
+        Array of shape ``(c * kh * kw, n * oh * ow)`` where column
+        ``(img, oy, ox)`` holds the receptive field of that output pixel.
+    """
+    n, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    k, i, j, oh, ow = _col_indices(c, h, w, kh, kw, stride, pad)
+    cols = xp[:, k, i, j]  # (n, c*kh*kw, oh*ow)
+    return cols.transpose(1, 0, 2).reshape(c * kh * kw, n * oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back onto the input.
+
+    Args:
+        cols: ``(c * kh * kw, n * oh * ow)`` gradient columns.
+        x_shape: Shape of the original input ``(n, c, h, w)``.
+
+    Returns:
+        Gradient w.r.t. the input, shape ``x_shape``.
+    """
+    n, c, h, w = x_shape
+    k, i, j, oh, ow = _col_indices(c, h, w, kh, kw, stride, pad)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=np.float64)
+    cols_n = cols.reshape(c * kh * kw, n, oh * ow).transpose(1, 0, 2)
+    np.add.at(xp, (slice(None), k, i, j), cols_n)
+    if pad:
+        return xp[:, :, pad:-pad, pad:-pad]
+    return xp
+
+
+def patch_indices(
+    x_shape: tuple[int, int, int, int],
+    out_pos: tuple[int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Input coordinates feeding one output pixel, plus a validity mask.
+
+    Used by the fault injector to reconstruct the MAC operand chain of a
+    single convolution output without materializing the full im2col
+    matrix.
+
+    Args:
+        x_shape: ``(n, c, h, w)`` input shape.
+        out_pos: ``(oy, ox)`` output pixel.
+        kh, kw, stride, pad: Window geometry.
+
+    Returns:
+        ``(cc, yy, xx, valid)`` flat arrays of length ``c * kh * kw``:
+        channel/row/col of each tap in the *unpadded* input and a bool
+        mask that is False where the tap falls in the zero padding.
+    """
+    _, c, h, w = x_shape
+    oy, ox = out_pos
+    ky, kx = np.meshgrid(np.arange(kh), np.arange(kw), indexing="ij")
+    yy = oy * stride - pad + ky.ravel()
+    xx = ox * stride - pad + kx.ravel()
+    yy = np.tile(yy, c)
+    xx = np.tile(xx, c)
+    cc = np.repeat(np.arange(c), kh * kw)
+    valid = (yy >= 0) & (yy < h) & (xx >= 0) & (xx < w)
+    return cc, yy, xx, valid

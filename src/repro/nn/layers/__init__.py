@@ -1,0 +1,23 @@
+"""Layer implementations for the inference/training engine."""
+
+from repro.nn.layers.activation import Flatten, ReLU, Softmax
+from repro.nn.layers.base import Layer, MacChain, MacLayer, Shape
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.fc import Dense
+from repro.nn.layers.lrn import LRN
+from repro.nn.layers.pool import GlobalAvgPool, MaxPool2D
+
+__all__ = [
+    "Layer",
+    "MacLayer",
+    "MacChain",
+    "Shape",
+    "Conv2D",
+    "Dense",
+    "ReLU",
+    "Softmax",
+    "Flatten",
+    "LRN",
+    "MaxPool2D",
+    "GlobalAvgPool",
+]

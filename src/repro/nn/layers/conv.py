@@ -1,0 +1,130 @@
+"""2-D convolution layer (the paper's CONV), lowered to im2col + GEMM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.nn.im2col import col2im, conv_out_size, im2col, patch_indices
+from repro.nn.layers.base import MacChain, MacLayer, Shape
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(MacLayer):
+    """Multi-channel 2-D convolution with zero padding.
+
+    Args:
+        name: Layer name (e.g. ``"conv1"``).
+        in_channels: Input fmap channels.
+        out_channels: Number of filters / output fmaps.
+        kernel: Square kernel extent.
+        stride: Window stride.
+        pad: Zero padding on each side.
+    """
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+    ):
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel, stride) < 1 or pad < 0:
+            raise ValueError(f"{name}: invalid conv geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.weight = np.zeros((out_channels, in_channels, kernel, kernel), dtype=np.float64)
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+
+    # -- geometry --------------------------------------------------------- #
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        if c != self.in_channels:
+            raise ValueError(f"{self.name}: expected {self.in_channels} channels, got {c}")
+        oh = conv_out_size(h, self.kernel, self.stride, self.pad)
+        ow = conv_out_size(w, self.kernel, self.stride, self.pad)
+        return (self.out_channels, oh, ow)
+
+    def output_elements(self, in_shape: Shape) -> int:
+        c, oh, ow = self.out_shape(in_shape)
+        return c * oh * ow
+
+    def chain_length(self, in_shape: Shape) -> int:
+        return self.in_channels * self.kernel * self.kernel
+
+    def unravel_output(self, flat_index: int, in_shape: Shape) -> tuple[int, ...]:
+        return tuple(int(v) for v in np.unravel_index(flat_index, self.out_shape(in_shape)))
+
+    # -- parameters -------------------------------------------------------- #
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def weight_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.weight, self.bias
+
+    # -- inference ----------------------------------------------------------- #
+    def forward(self, x: np.ndarray, dtype: DataType | None = None) -> np.ndarray:
+        w, b = self.quantized_weights(dtype)
+        return self.forward_with_weights(x, dtype, w, b)
+
+    def forward_with_weights(
+        self,
+        x: np.ndarray,
+        dtype: DataType | None,
+        weight: np.ndarray,
+        bias: np.ndarray,
+    ) -> np.ndarray:
+        n = x.shape[0]
+        _, oh, ow = self.out_shape(x.shape[1:])
+        cols = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        wmat = weight.reshape(self.out_channels, -1)
+        with np.errstate(invalid="ignore", over="ignore"):
+            # inf/NaN operands are legal here: corrupted activations
+            # propagate through the GEMM like they would through the MACs.
+            y = wmat @ cols + bias[:, None]
+        y = y.reshape(self.out_channels, n, oh * ow).transpose(1, 0, 2)
+        y = y.reshape(n, self.out_channels, oh, ow)
+        return dtype.quantize(y) if dtype is not None else y
+
+    # -- training ------------------------------------------------------------- #
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        cols = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        n = x.shape[0]
+        _, oh, ow = self.out_shape(x.shape[1:])
+        wmat = self.weight.reshape(self.out_channels, -1)
+        y = (wmat @ cols + self.bias[:, None]).reshape(self.out_channels, n, oh * ow)
+        y = y.transpose(1, 0, 2).reshape(n, self.out_channels, oh, ow)
+        return y, (x.shape, cols)
+
+    def backward(self, cache: object, dy: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        x_shape, cols = cache
+        n, f, oh, ow = dy.shape
+        dy_mat = dy.transpose(1, 0, 2, 3).reshape(f, n * oh * ow)
+        dw = (dy_mat @ cols.T).reshape(self.weight.shape)
+        db = dy_mat.sum(axis=1)
+        wmat = self.weight.reshape(self.out_channels, -1)
+        dcols = wmat.T @ dy_mat
+        dx = col2im(dcols, x_shape, self.kernel, self.kernel, self.stride, self.pad)
+        return dx, {"weight": dw, "bias": db}
+
+    # -- fault-injection support ------------------------------------------------ #
+    def mac_operands(
+        self, x: np.ndarray, out_index: tuple[int, ...], dtype: DataType | None
+    ) -> MacChain:
+        f, oy, ox = out_index
+        w, b = self.quantized_weights(dtype)
+        cc, yy, xx, valid = patch_indices(
+            (1, *x.shape), (oy, ox), self.kernel, self.kernel, self.stride, self.pad
+        )
+        taps = np.zeros(cc.shape[0], dtype=np.float64)
+        taps[valid] = x[cc[valid], yy[valid], xx[valid]]
+        return MacChain(weights=w[f].ravel().copy(), inputs=taps, bias=float(b[f]))

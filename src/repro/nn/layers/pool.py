@@ -1,0 +1,104 @@
+"""Pooling layers: max pooling (the paper's POOL) and global average
+pooling (NiN's classifier head).
+
+POOL masks errors by discarding every non-maximum activation in each
+window (paper section 5.1.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.nn.im2col import col2im, conv_out_size, im2col
+from repro.nn.layers.base import Layer, Shape
+
+__all__ = ["MaxPool2D", "GlobalAvgPool"]
+
+
+class MaxPool2D(Layer):
+    """Max pooling over square windows.
+
+    Args:
+        name: Layer name.
+        kernel: Window extent.
+        stride: Window stride (defaults to ``kernel``).
+        pad: Zero padding (rarely used; AlexNet-style pooling uses 0).
+    """
+
+    kind = "pool"
+
+    def __init__(self, name: str, kernel: int, stride: int | None = None, pad: int = 0):
+        super().__init__(name)
+        if kernel < 1 or pad < 0:
+            raise ValueError(f"{name}: invalid pool geometry")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self.pad = pad
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, h, w = in_shape
+        oh = conv_out_size(h, self.kernel, self.stride, self.pad)
+        ow = conv_out_size(w, self.kernel, self.stride, self.pad)
+        return (c, oh, ow)
+
+    def _window_cols(self, x: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        n, c, h, w = x.shape
+        _, oh, ow = self.out_shape((c, h, w))
+        flat = x.reshape(n * c, 1, h, w)
+        cols = im2col(flat, self.kernel, self.kernel, self.stride, self.pad)
+        return cols, (n, c, oh, ow)
+
+    def forward(self, x: np.ndarray, dtype: DataType | None = None) -> np.ndarray:
+        if self.pad:
+            # Padding inserts zeros that must never win the max for
+            # negative-valued windows; use -inf fill instead.
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                constant_values=-np.inf,
+            )
+            saved_pad, self.pad = self.pad, 0
+            try:
+                return self.forward(x, dtype)
+            finally:
+                self.pad = saved_pad
+        cols, (n, c, oh, ow) = self._window_cols(x)
+        y = cols.max(axis=0).reshape(n, c, oh, ow)
+        return y  # selection only: values stay representable
+
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        cols, (n, c, oh, ow) = self._window_cols(x)
+        arg = cols.argmax(axis=0)
+        y = cols[arg, np.arange(cols.shape[1])].reshape(n, c, oh, ow)
+        return y, (x.shape, arg, cols.shape)
+
+    def backward(self, cache: object, dy: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        x_shape, arg, cols_shape = cache
+        n, c, h, w = x_shape
+        dcols = np.zeros(cols_shape, dtype=np.float64)
+        dcols[arg, np.arange(cols_shape[1])] = dy.ravel()
+        dx = col2im(dcols, (n * c, 1, h, w), self.kernel, self.kernel, self.stride, self.pad)
+        return dx.reshape(x_shape), {}
+
+
+class GlobalAvgPool(Layer):
+    """Average each channel's fmap down to a single value (NiN head)."""
+
+    kind = "gap"
+
+    def out_shape(self, in_shape: Shape) -> Shape:
+        c, _, _ = in_shape
+        return (c,)
+
+    def forward(self, x: np.ndarray, dtype: DataType | None = None) -> np.ndarray:
+        y = x.mean(axis=(2, 3))
+        return dtype.quantize(y) if dtype is not None else y
+
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        return x.mean(axis=(2, 3)), x.shape
+
+    def backward(self, cache: object, dy: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        n, c, h, w = cache
+        dx = np.broadcast_to(dy[:, :, None, None] / (h * w), (n, c, h, w)).copy()
+        return dx, {}

@@ -1,0 +1,267 @@
+"""Sequential network container with partial re-execution support.
+
+The fault injector needs two things beyond plain inference:
+
+- the activation entering every layer (to rebuild a single MAC operand
+  chain), and
+- ``forward_from``: resume execution at layer *i* with a corrupted
+  activation, so one injection costs a partial forward pass rather than a
+  full one.
+
+Both are provided here.  All four paper networks are sequential stacks,
+so no general DAG machinery is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.nn.layers.base import Layer, MacLayer, Shape
+
+__all__ = ["Network", "InferenceResult"]
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of one inference.
+
+    Attributes:
+        scores: Final output vector (confidence scores when the network
+            ends in softmax, raw class scores otherwise).
+        activations: ``activations[i]`` is the (unbatched, quantized)
+            input of layer ``i``; ``activations[-1]`` is the final output.
+            Empty if recording was disabled.
+    """
+
+    scores: np.ndarray
+    activations: list[np.ndarray] = field(default_factory=list)
+
+    def top1(self) -> int:
+        """Index of the top-ranked output candidate."""
+        return int(np.argmax(self.scores))
+
+    def topk(self, k: int) -> np.ndarray:
+        """Indices of the top-``k`` candidates, best first."""
+        order = np.argsort(self.scores, kind="stable")[::-1]
+        return order[:k]
+
+
+class Network:
+    """A sequential DNN.
+
+    Args:
+        name: Network name (e.g. ``"AlexNet"``).
+        layers: Layer stack, input to output.
+        input_shape: Unbatched input fmap shape ``(c, h, w)``.
+        dataset: Name of the associated dataset (Table 2 bookkeeping).
+        has_confidence: True when the output is a confidence distribution
+            (softmax present); NiN sets this False, which disables the
+            SDC-10%/-20% outcome classes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        layers: list[Layer],
+        input_shape: Shape,
+        dataset: str = "synthetic",
+        has_confidence: bool = True,
+    ):
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.name = name
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.dataset = dataset
+        self.has_confidence = has_confidence
+        self._assign_blocks()
+        self.shapes = self._infer_shapes()
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def _assign_blocks(self) -> None:
+        """Assign the paper-style block index (CONV/FC position) to layers.
+
+        Each MAC layer starts a new block; the ReLU/POOL/LRN layers that
+        follow belong to the same block.  Pre-MAC layers (none in our
+        networks) would keep block None.
+        """
+        block = 0
+        for layer in self.layers:
+            if isinstance(layer, MacLayer):
+                block += 1
+            layer.block = block if block > 0 else None
+
+    def _infer_shapes(self) -> list[Shape]:
+        """Per-layer input shapes; ``shapes[i]`` feeds ``layers[i]``."""
+        shapes = [self.input_shape]
+        for layer in self.layers:
+            shapes.append(layer.out_shape(shapes[-1]))
+        return shapes
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of paper-level layers (CONV + FC blocks)."""
+        return max((l.block or 0) for l in self.layers)
+
+    @property
+    def out_candidates(self) -> int:
+        """Number of output candidates (classes)."""
+        return int(np.prod(self.shapes[-1]))
+
+    def mac_layer_indices(self) -> list[int]:
+        """Indices of layers with datapath fault sites (conv/fc)."""
+        return [i for i, l in enumerate(self.layers) if isinstance(l, MacLayer)]
+
+    def mac_counts(self) -> dict[int, int]:
+        """MACs per mac-layer index, for MAC-weighted fault-site sampling."""
+        return {
+            i: self.layers[i].mac_count(self.shapes[i]) for i in self.mac_layer_indices()
+        }
+
+    def total_macs(self) -> int:
+        """Total MAC operations per inference."""
+        return sum(self.mac_counts().values())
+
+    def param_count(self) -> int:
+        """Total scalar parameters."""
+        return sum(l.param_count() for l in self.layers)
+
+    def layer_named(self, name: str) -> Layer:
+        """Look up a layer by name."""
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise KeyError(f"{self.name} has no layer named {name!r}")
+
+    def blocks(self) -> dict[int, list[int]]:
+        """Map block index -> layer indices in that block."""
+        out: dict[int, list[int]] = {}
+        for i, l in enumerate(self.layers):
+            if l.block is not None:
+                out.setdefault(l.block, []).append(i)
+        return out
+
+    def block_kinds(self) -> dict[int, str]:
+        """Map block index -> 'CONV' or 'FC' (kind of its MAC layer)."""
+        kinds: dict[int, str] = {}
+        for i in self.mac_layer_indices():
+            layer = self.layers[i]
+            assert layer.block is not None
+            kinds[layer.block] = "CONV" if layer.kind == "conv" else "FC"
+        return kinds
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def prepare(self, dtype: DataType | None) -> None:
+        """Warm the per-format quantized weight caches."""
+        for i in self.mac_layer_indices():
+            self.layers[i].quantized_weights(dtype)
+
+    def block_output_indices(self) -> frozenset[int]:
+        """Layer indices whose outputs are written to the global buffer
+        (each block's final layer, excluding a terminal softmax)."""
+        last: dict[int, int] = {}
+        for i, layer in enumerate(self.layers):
+            if layer.block is not None and layer.kind != "softmax":
+                last[layer.block] = i
+        return frozenset(last.values())
+
+    def invalidate_weight_caches(self) -> None:
+        """Drop all quantized-weight caches after mutating parameters."""
+        for i in self.mac_layer_indices():
+            self.layers[i].invalidate_weight_cache()
+
+    def forward(
+        self,
+        x: np.ndarray,
+        dtype: DataType | None = None,
+        record: bool = True,
+        storage_dtype: DataType | None = None,
+    ) -> InferenceResult:
+        """Run a full inference on one unbatched input.
+
+        Args:
+            x: Input fmap of shape ``input_shape``.
+            dtype: Numeric format for weights/activations (None = float64).
+            record: Keep every intermediate activation (needed for fault
+                injection and profiling; disable for plain classification).
+            storage_dtype: Optional *shorter* format applied to every
+                block output — the Proteus-style reduced-precision buffer
+                protocol of paper section 6.1, where fmaps are stored in
+                memory in a narrow representation and unfolded into the
+                (wider) datapath format for computation.
+        """
+        if tuple(x.shape) != self.input_shape:
+            raise ValueError(f"expected input {self.input_shape}, got {tuple(x.shape)}")
+        act = dtype.quantize(x) if dtype is not None else np.asarray(x, dtype=np.float64)
+        if storage_dtype is not None:
+            act = storage_dtype.quantize(act)
+        store_at = self.block_output_indices() if storage_dtype is not None else frozenset()
+        activations: list[np.ndarray] = [act] if record else []
+        batched = act[None]
+        for i, layer in enumerate(self.layers):
+            batched = layer.forward(batched, dtype)
+            if i in store_at:
+                batched = storage_dtype.quantize(batched)
+            if record:
+                activations.append(batched[0])
+        return InferenceResult(scores=batched[0].ravel(), activations=activations)
+
+    def forward_from(
+        self,
+        layer_index: int,
+        act: np.ndarray,
+        dtype: DataType | None = None,
+        record: bool = False,
+        storage_dtype: DataType | None = None,
+    ) -> InferenceResult:
+        """Resume inference at ``layers[layer_index]`` with input ``act``.
+
+        ``act`` must have shape ``shapes[layer_index]`` and be already
+        quantized (a corrupted golden activation qualifies: flipping a bit
+        keeps a value representable).
+        """
+        if not 0 <= layer_index <= len(self.layers):
+            raise IndexError(f"layer index {layer_index} out of range")
+        if tuple(act.shape) != self.shapes[layer_index]:
+            raise ValueError(
+                f"expected activation {self.shapes[layer_index]}, got {tuple(act.shape)}"
+            )
+        store_at = self.block_output_indices() if storage_dtype is not None else frozenset()
+        activations: list[np.ndarray] = [act] if record else []
+        batched = np.asarray(act, dtype=np.float64)[None]
+        for i, layer in enumerate(self.layers[layer_index:], start=layer_index):
+            batched = layer.forward(batched, dtype)
+            if i in store_at:
+                batched = storage_dtype.quantize(batched)
+            if record:
+                activations.append(batched[0])
+        return InferenceResult(scores=batched[0].ravel(), activations=activations)
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        """Table-2-style description row."""
+        kinds = self.block_kinds()
+        n_conv = sum(1 for k in kinds.values() if k == "CONV")
+        n_fc = sum(1 for k in kinds.values() if k == "FC")
+        has_lrn = any(l.kind == "lrn" for l in self.layers)
+        topo = f"{n_conv} CONV" + (" (with LRN)" if has_lrn else "")
+        if n_fc:
+            topo += f" + {n_fc} FC"
+        return {
+            "network": self.name,
+            "dataset": self.dataset,
+            "output_candidates": self.out_candidates,
+            "topology": topo,
+            "params": self.param_count(),
+            "macs": self.total_macs(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Network {self.name}: {len(self.layers)} layers, {self.n_blocks} blocks>"

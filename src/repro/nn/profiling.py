@@ -1,0 +1,127 @@
+"""Error-free activation profiling (Table 4) and the SED learning phase.
+
+The paper profiles the value range of every ACT in every layer during
+fault-free execution (Table 4) and derives symptom-detector bounds from
+those ranges with a 10% cushion (section 6.2).  A *block* here is a
+paper-level layer: one CONV/FC plus its trailing ReLU/POOL/LRN — ranges
+are taken over the block's final output, i.e. the ACT values handed to
+the next layer (which is exactly what sits in the global buffer at
+detection time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+from repro.nn.network import Network
+
+__all__ = ["BlockRange", "RangeProfile", "profile_ranges"]
+
+
+@dataclass(frozen=True)
+class BlockRange:
+    """Observed value range of one block's output ACTs."""
+
+    block: int
+    lo: float
+    hi: float
+
+    def with_cushion(self, cushion: float) -> "BlockRange":
+        """Expand the range by ``cushion`` (0.10 = the paper's 10%)."""
+        span = 1.0 + cushion
+        lo = self.lo * span if self.lo < 0 else self.lo / span
+        hi = self.hi * span if self.hi > 0 else self.hi / span
+        return BlockRange(self.block, lo, hi)
+
+    def contains(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise in-range test; NaN counts as out of range."""
+        v = np.asarray(values, dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            ok = (v >= self.lo) & (v <= self.hi)
+        return ok & ~np.isnan(v)
+
+
+@dataclass
+class RangeProfile:
+    """Per-block activation ranges of one network (one Table 4 row)."""
+
+    network: str
+    ranges: dict[int, BlockRange]
+
+    def bounds(self, block: int) -> BlockRange:
+        """Range of a block; raises KeyError for unknown blocks."""
+        return self.ranges[block]
+
+    def as_rows(self) -> list[tuple[int, float, float]]:
+        """Table-4-style ``(layer, min, max)`` rows in block order."""
+        return [(b, r.lo, r.hi) for b, r in sorted(self.ranges.items())]
+
+    def merge(self, other: "RangeProfile") -> "RangeProfile":
+        """Combine with another profile of the same network (range union)."""
+        if other.network != self.network:
+            raise ValueError("cannot merge profiles of different networks")
+        merged = dict(self.ranges)
+        for b, r in other.ranges.items():
+            if b in merged:
+                merged[b] = BlockRange(b, min(merged[b].lo, r.lo), max(merged[b].hi, r.hi))
+            else:
+                merged[b] = r
+        return RangeProfile(self.network, merged)
+
+
+def _block_layer_map(network: Network, scope: str) -> dict[int, list[int]]:
+    """Map block index -> layer indices whose outputs are profiled.
+
+    ``scope="all"`` covers every layer output in the block — including
+    the raw (pre-ReLU) MAC output, which is how Table 4 of the paper
+    shows negative minima for ReLU-terminated layers.  ``scope="output"``
+    covers only the block's final output (the values resident in the
+    global buffer, which is where the SED detector checks).  A terminal
+    softmax is always excluded: confidence scores live on the host, not
+    in accelerator buffers.
+    """
+    blocks: dict[int, list[int]] = {}
+    for i, layer in enumerate(network.layers):
+        if layer.block is not None and layer.kind != "softmax":
+            blocks.setdefault(layer.block, []).append(i)
+    if scope == "output":
+        return {b: [idx[-1]] for b, idx in blocks.items()}
+    if scope == "all":
+        return blocks
+    raise ValueError(f"scope must be 'all' or 'output', got {scope!r}")
+
+
+def profile_ranges(
+    network: Network,
+    inputs: np.ndarray,
+    dtype: DataType | None = None,
+    scope: str = "all",
+) -> RangeProfile:
+    """Profile fault-free per-block ACT ranges over ``inputs``.
+
+    Args:
+        network: Network to profile.
+        inputs: Batch of inputs, shape ``(n, *input_shape)``.
+        dtype: Numeric format for the profiling runs (None = float64).
+        scope: ``"all"`` profiles every ACT tensor in the block (Table 4
+            semantics); ``"output"`` profiles only block outputs (what
+            the deployed SED detector observes).
+
+    Returns:
+        A :class:`RangeProfile` with one :class:`BlockRange` per block.
+    """
+    block_layers = _block_layer_map(network, scope)
+    lo = {b: np.inf for b in block_layers}
+    hi = {b: -np.inf for b in block_layers}
+    for x in inputs:
+        res = network.forward(x, dtype=dtype, record=True)
+        for b, layer_idxs in block_layers.items():
+            for li in layer_idxs:
+                act = res.activations[li + 1]  # activations[i+1] = output of layer i
+                lo[b] = min(lo[b], float(act.min()))
+                hi[b] = max(hi[b], float(act.max()))
+    ranges = {b: BlockRange(b, lo[b], hi[b]) for b in block_layers}
+    return RangeProfile(network.name, ranges)

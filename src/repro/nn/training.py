@@ -1,0 +1,148 @@
+"""Minimal SGD training engine.
+
+Used to genuinely *train* ConvNet on the synthetic CIFAR-like task so its
+weights are learned rather than sampled — reproducing the paper's setting
+where small-output-dimension networks have meaningful (and volatile)
+confidence rankings.  Only the layer kinds ConvNet uses need gradients
+(conv, relu, pool, fc, flatten, softmax); LRN is inference-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.network import Network
+
+__all__ = ["SGDTrainer", "TrainReport", "softmax_cross_entropy", "accuracy"]
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. logits.
+
+    Args:
+        logits: ``(n, classes)`` raw scores.
+        labels: ``(n,)`` integer class ids.
+
+    Returns:
+        ``(loss, dlogits)``.
+    """
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    loss = -float(log_probs[np.arange(n), labels].mean())
+    dlogits = np.exp(log_probs)
+    dlogits[np.arange(n), labels] -= 1.0
+    return loss, dlogits / n
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of a logits batch."""
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+@dataclass
+class TrainReport:
+    """Per-epoch training trace."""
+
+    losses: list[float] = field(default_factory=list)
+    train_acc: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class SGDTrainer:
+    """Mini-batch SGD with momentum over a :class:`Network`.
+
+    The softmax layer (if last) is excluded from the trained stack: the
+    cross-entropy loss fuses it for numerical stability.
+
+    Args:
+        network: Network to train in place.
+        lr: Learning rate.
+        momentum: Classical momentum coefficient.
+        weight_decay: L2 penalty on weights (not biases).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-4,
+    ):
+        self.network = network
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._trainable = network.layers
+        if self._trainable and self._trainable[-1].kind == "softmax":
+            self._trainable = self._trainable[:-1]
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Float64 forward through the trainable stack (no softmax)."""
+        out = x
+        for layer in self._trainable:
+            out, _ = layer.forward_train(out)
+        return out
+
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+        """One SGD step on a batch; returns ``(loss, batch_accuracy)``."""
+        caches = []
+        out = x
+        for layer in self._trainable:
+            out, cache = layer.forward_train(out)
+            caches.append(cache)
+        loss, grad = softmax_cross_entropy(out, labels)
+        acc = accuracy(out, labels)
+        for idx in range(len(self._trainable) - 1, -1, -1):
+            layer = self._trainable[idx]
+            grad, pgrads = layer.backward(caches[idx], grad)
+            for pname, g in pgrads.items():
+                param = layer.params()[pname]
+                if pname == "weight" and self.weight_decay:
+                    g = g + self.weight_decay * param
+                key = (idx, pname)
+                v = self._velocity.get(key)
+                v = self.momentum * v - self.lr * g if v is not None else -self.lr * g
+                self._velocity[key] = v
+                param += v
+        return loss, acc
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 32,
+        rng: np.random.Generator | None = None,
+        lr_decay: float = 0.7,
+    ) -> TrainReport:
+        """Train for ``epochs`` passes over ``(x, labels)``.
+
+        The learning rate is multiplied by ``lr_decay`` after each epoch
+        (momentum SGD on small batches diverges otherwise).  Invalidates
+        the network's quantized-weight caches afterwards.
+        """
+        rng = rng or np.random.default_rng(0)
+        n = x.shape[0]
+        report = TrainReport()
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            ep_loss, ep_acc, batches = 0.0, 0.0, 0
+            for start in range(0, n, batch_size):
+                sel = order[start : start + batch_size]
+                loss, acc = self.train_step(x[sel], labels[sel])
+                ep_loss += loss
+                ep_acc += acc
+                batches += 1
+            report.losses.append(ep_loss / batches)
+            report.train_acc.append(ep_acc / batches)
+            self.lr *= lr_decay
+        self.network.invalidate_weight_caches()
+        return report

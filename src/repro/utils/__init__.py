@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG streams, table rendering, parallel fan-out."""
+
+from repro.utils.ascii_plot import bar_chart, sparkline
+from repro.utils.parallel import effective_jobs, map_trials
+from repro.utils.rng import child_rng, make_rng, spawn_rngs
+from repro.utils.tables import fmt_num, fmt_pct, format_mapping, format_table
+from repro.utils.validation import as_f64, check_in, check_positive, check_prob, require
+
+__all__ = [
+    "bar_chart",
+    "sparkline",
+    "effective_jobs",
+    "map_trials",
+    "child_rng",
+    "make_rng",
+    "spawn_rngs",
+    "fmt_num",
+    "fmt_pct",
+    "format_mapping",
+    "format_table",
+    "as_f64",
+    "check_in",
+    "check_positive",
+    "check_prob",
+    "require",
+]

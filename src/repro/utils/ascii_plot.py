@@ -1,0 +1,73 @@
+"""Terminal plotting: horizontal bar charts and sparklines.
+
+The paper's figures are bar/line charts; the experiment harness prints
+their data as tables plus these lightweight visualizations so the shape
+(which bits spike, where the curve bends) is visible straight from the
+terminal without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "sparkline"]
+
+#: Eighth-block ramp used by :func:`sparkline`.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    fmt: str = "{:.2%}",
+) -> str:
+    """Render a horizontal bar chart.
+
+    Args:
+        labels: Row labels (stringified).
+        values: Non-negative bar magnitudes.
+        width: Character width of the longest bar.
+        title: Optional heading.
+        fmt: Format spec for the printed value.
+
+    Returns:
+        Multi-line string; bars scale to the maximum value (an all-zero
+        series renders empty bars rather than dividing by zero).
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels for {len(values)} values")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values, default=0.0)
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = round(width * value / peak) if peak > 0 else 0
+        lines.append(f"{str(label):>{label_w}} | {'#' * n}{' ' * (width - n)} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render a one-line unicode sparkline of ``values``.
+
+    Args:
+        values: Series to plot.
+        lo, hi: Optional fixed scale bounds (default: the series range).
+    """
+    vals = list(values)
+    if not vals:
+        return ""
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    out = []
+    for v in vals:
+        if span <= 0:
+            idx = 0 if v <= lo else len(_BLOCKS) - 1
+        else:
+            frac = min(max((v - lo) / span, 0.0), 1.0)
+            idx = round(frac * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)

@@ -1,0 +1,74 @@
+"""Process-pool fan-out for fault-injection campaigns.
+
+A campaign is thousands of independent single-fault inference runs — an
+embarrassingly parallel workload.  ``map_trials`` shards trial indices
+across a process pool; each worker rebuilds its (picklable) task object
+once and reuses cached golden activations across its shard, following the
+fork-once/reuse-state idiom from the HPC guides.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["effective_jobs", "map_trials"]
+
+_WORKER_TASK = None
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a job-count request: None/0 -> all cores, negative -> 1."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def _init_worker(task_factory: Callable[[], object]) -> None:
+    global _WORKER_TASK
+    _WORKER_TASK = task_factory()
+
+
+def _run_chunk(indices: Sequence[int]) -> list:
+    assert _WORKER_TASK is not None, "worker not initialised"
+    return [_WORKER_TASK(i) for i in indices]
+
+
+def map_trials(
+    task_factory: Callable[[], Callable[[int], object]],
+    n_trials: int,
+    jobs: int | None = 1,
+    chunk: int = 64,
+) -> list:
+    """Run ``task(i)`` for ``i in range(n_trials)``, possibly in parallel.
+
+    Args:
+        task_factory: Zero-arg callable returning the per-trial callable.
+            Invoked once per worker (and once inline when ``jobs == 1``),
+            so expensive setup (network construction, golden run) is paid
+            per worker rather than per trial.
+        n_trials: Number of trials.
+        jobs: Worker processes; 1 runs inline (default, deterministic and
+            debuggable), None/0 uses every core.
+        chunk: Trials per inter-process message.
+
+    Returns:
+        List of per-trial results in trial order.
+    """
+    n_jobs = effective_jobs(jobs)
+    if n_jobs == 1 or n_trials <= 1:
+        task = task_factory()
+        return [task(i) for i in range(n_trials)]
+
+    chunks = [list(range(s, min(s + chunk, n_trials))) for s in range(0, n_trials, chunk)]
+    results: list = [None] * n_trials
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(chunks)),
+        initializer=_init_worker,
+        initargs=(task_factory,),
+    ) as pool:
+        for idx_chunk, out_chunk in zip(chunks, pool.map(_run_chunk, chunks)):
+            for i, out in zip(idx_chunk, out_chunk):
+                results[i] = out
+    return results

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the experiment harness.
+
+Experiments print paper-style rows; this keeps formatting in one place so
+every table/figure reproduction looks uniform in the terminal and in
+EXPERIMENTS.md transcripts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_mapping", "fmt_pct", "fmt_num"]
+
+
+def fmt_pct(x: float, digits: int = 2) -> str:
+    """Format a probability as a percentage string, e.g. ``0.0719 -> '7.19%'``."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def fmt_num(x: float, digits: int = 4) -> str:
+    """Format a number compactly, switching to scientific for extremes."""
+    if x == 0:
+        return "0"
+    ax = abs(x)
+    if ax >= 10 ** (digits + 2) or ax < 10 ** (-digits):
+        return f"{x:.{digits}g}"
+    return f"{x:.{digits}g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Row cell values (stringified with ``str``).
+        title: Optional heading printed above the table.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, object], title: str | None = None) -> str:
+    """Render a key/value mapping as a two-column table."""
+    return format_table(["key", "value"], list(mapping.items()), title=title)

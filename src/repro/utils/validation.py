@@ -1,0 +1,35 @@
+"""Lightweight argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["require", "check_positive", "check_in", "check_prob", "as_f64"]
+
+
+def require(cond: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``cond`` holds."""
+    if not cond:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    require(value > 0, f"{name} must be positive, got {value}")
+
+
+def check_in(name: str, value: object, options: Sequence[object]) -> None:
+    """Require ``value`` to be one of ``options``."""
+    require(value in options, f"{name} must be one of {list(options)}, got {value!r}")
+
+
+def check_prob(name: str, value: float) -> None:
+    """Require ``value`` to be a probability in [0, 1]."""
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value}")
+
+
+def as_f64(x: object) -> np.ndarray:
+    """Coerce to a float64 ndarray (no copy if already float64)."""
+    return np.asarray(x, dtype=np.float64)

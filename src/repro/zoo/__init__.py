@@ -1,0 +1,36 @@
+"""The paper's four networks (Table 2) with synthetic calibrated weights."""
+
+from repro.zoo.alexnet import ALEXNET_SCALES, build_alexnet
+from repro.zoo.caffenet import build_caffenet
+from repro.zoo.convnet import build_convnet
+from repro.zoo.datasets import class_templates, imagenet_like, synthetic_cifar
+from repro.zoo.nin import NIN_SCALES, build_nin
+from repro.zoo.registry import (
+    NETWORKS,
+    clear_cache,
+    describe_networks,
+    eval_inputs,
+    get_network,
+)
+from repro.zoo.weights import TABLE4_RANGES, calibrate_to_ranges, he_init, max_abs_targets
+
+__all__ = [
+    "ALEXNET_SCALES",
+    "NIN_SCALES",
+    "build_alexnet",
+    "build_caffenet",
+    "build_convnet",
+    "build_nin",
+    "class_templates",
+    "imagenet_like",
+    "synthetic_cifar",
+    "NETWORKS",
+    "clear_cache",
+    "describe_networks",
+    "eval_inputs",
+    "get_network",
+    "TABLE4_RANGES",
+    "calibrate_to_ranges",
+    "he_init",
+    "max_abs_targets",
+]

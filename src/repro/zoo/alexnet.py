@@ -1,0 +1,78 @@
+"""AlexNet (Krizhevsky et al.): 5 CONV (first two with LRN) + 3 FC.
+
+Block order follows the original network: conv -> ReLU -> LRN -> maxpool
+in the first two blocks.  The ``full`` variant is the exact BVLC geometry
+(227x227 input, 96/256/384/384/256 filters, 4096-wide FC, 1000 classes);
+``reduced`` shrinks spatial extent and channel counts by ~4x while
+keeping the topology, layer kinds, LRN placement and the 1000-way output
+— the properties the paper's propagation analysis depends on.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import LRN, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.nn.network import Network
+
+__all__ = ["build_alexnet", "ALEXNET_SCALES"]
+
+#: Geometry per scale: (input_size, conv channels c1..c5, fc width).
+ALEXNET_SCALES: dict[str, tuple[int, tuple[int, int, int, int, int], int]] = {
+    "full": (227, (96, 256, 384, 384, 256), 4096),
+    "reduced": (115, (24, 64, 96, 96, 64), 256),
+}
+
+
+def _alexnet_layers(
+    channels: tuple[int, int, int, int, int],
+    fc_width: int,
+    spatial_after_pool5: int,
+    lrn_before_pool: bool,
+) -> list:
+    c1, c2, c3, c4, c5 = channels
+    block1: list = [Conv2D("conv1", 3, c1, 11, stride=4), ReLU("relu1")]
+    block2: list = [Conv2D("conv2", c1, c2, 5, stride=1, pad=2), ReLU("relu2")]
+    if lrn_before_pool:  # AlexNet order: conv, relu, LRN, pool
+        block1 += [LRN("norm1"), MaxPool2D("pool1", 3, stride=2)]
+        block2 += [LRN("norm2"), MaxPool2D("pool2", 3, stride=2)]
+    else:  # CaffeNet order: conv, relu, pool, LRN
+        block1 += [MaxPool2D("pool1", 3, stride=2), LRN("norm1")]
+        block2 += [MaxPool2D("pool2", 3, stride=2), LRN("norm2")]
+    return block1 + block2 + [
+        Conv2D("conv3", c2, c3, 3, stride=1, pad=1),
+        ReLU("relu3"),
+        Conv2D("conv4", c3, c4, 3, stride=1, pad=1),
+        ReLU("relu4"),
+        Conv2D("conv5", c4, c5, 3, stride=1, pad=1),
+        ReLU("relu5"),
+        MaxPool2D("pool5", 3, stride=2),
+        Flatten("flatten"),
+        Dense("fc6", c5 * spatial_after_pool5 * spatial_after_pool5, fc_width),
+        ReLU("relu6"),
+        Dense("fc7", fc_width, fc_width),
+        ReLU("relu7"),
+        Dense("fc8", fc_width, 1000),
+        Softmax("softmax"),
+    ]
+
+
+def _pool5_extent(input_size: int) -> int:
+    s1 = (input_size - 11) // 4 + 1  # conv1
+    p1 = (s1 - 3) // 2 + 1  # pool1
+    p2 = (p1 - 3) // 2 + 1  # pool2 (conv2 is 'same')
+    return (p2 - 3) // 2 + 1  # pool5 (conv3..5 are 'same')
+
+
+def build_alexnet(scale: str = "reduced", lrn_before_pool: bool = True, name: str = "AlexNet") -> Network:
+    """Construct AlexNet (or, with ``lrn_before_pool=False``, its CaffeNet
+    block ordering) at the requested scale, untrained/uncalibrated."""
+    try:
+        input_size, channels, fc_width = ALEXNET_SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; options: {sorted(ALEXNET_SCALES)}") from None
+    layers = _alexnet_layers(channels, fc_width, _pool5_extent(input_size), lrn_before_pool)
+    return Network(
+        name,
+        layers,
+        input_shape=(3, input_size, input_size),
+        dataset="ImageNet (synthetic)",
+    )

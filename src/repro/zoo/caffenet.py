@@ -1,0 +1,18 @@
+"""CaffeNet: the BVLC reference network (Table 2, row 3).
+
+Identical to AlexNet except for the order of ReLU/pooling vs. LRN within
+the first two blocks (paper section 4.1): CaffeNet pools *before*
+normalizing.
+"""
+
+from __future__ import annotations
+
+from repro.nn.network import Network
+from repro.zoo.alexnet import build_alexnet
+
+__all__ = ["build_caffenet"]
+
+
+def build_caffenet(scale: str = "reduced") -> Network:
+    """Construct CaffeNet at the requested scale, untrained/uncalibrated."""
+    return build_alexnet(scale=scale, lrn_before_pool=False, name="CaffeNet")

@@ -1,0 +1,43 @@
+"""ConvNet: the cuda-convnet CIFAR-10 network (Table 2, row 1).
+
+Topology: 3 CONV + 2 FC, 10 output candidates, softmax head, no
+normalization layers — the paper's shallowest and most SDC-prone network.
+Unlike the ImageNet networks, ConvNet is small enough to genuinely train
+on the synthetic CIFAR task, so its weights are *learned*.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.nn.network import Network
+
+__all__ = ["build_convnet"]
+
+
+def build_convnet(scale: str = "reduced") -> Network:
+    """Construct ConvNet (untrained).
+
+    ConvNet is already laptop-scale, so ``reduced`` and ``full`` are the
+    same topology (kept for interface symmetry with the ImageNet nets).
+    """
+    if scale not in ("reduced", "full"):
+        raise ValueError(f"unknown scale {scale!r}")
+    layers = [
+        Conv2D("conv1", 3, 32, 5, stride=1, pad=2),
+        ReLU("relu1"),
+        MaxPool2D("pool1", 3, stride=2),
+        Conv2D("conv2", 32, 32, 5, stride=1, pad=2),
+        ReLU("relu2"),
+        MaxPool2D("pool2", 3, stride=2),
+        Conv2D("conv3", 32, 64, 5, stride=1, pad=2),
+        ReLU("relu3"),
+        MaxPool2D("pool3", 3, stride=2),
+        Flatten("flatten"),
+        Dense("fc4", 64 * 3 * 3, 64),
+        ReLU("relu4"),
+        Dense("fc5", 64, 10),
+        Softmax("softmax"),
+    ]
+    return Network(
+        "ConvNet", layers, input_shape=(3, 32, 32), dataset="CIFAR-10 (synthetic)"
+    )

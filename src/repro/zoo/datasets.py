@@ -1,0 +1,130 @@
+"""Synthetic image corpora standing in for CIFAR-10 and ImageNet.
+
+The paper evaluates on CIFAR-10 (ConvNet) and ImageNet (AlexNet,
+CaffeNet, NiN).  Neither dataset is available offline, and SDC metrics
+only compare a network's faulty output against its *own* golden output on
+the *same* input — so what matters is (a) input statistics (dynamic range
+and spatial correlation matching mean-subtracted natural images) and
+(b) for the trained ConvNet, a genuinely learnable class structure.
+
+Two generators are provided:
+
+- :func:`synthetic_cifar`: a 10-class, 32x32x3 task built from per-class
+  frequency/orientation templates plus instance noise and jitter —
+  learnable by a small CNN yet non-trivial.
+- :func:`imagenet_like`: mean-subtracted natural-image-statistics inputs
+  (1/f-spectrum noise scaled to the pixel range of mean-subtracted RGB,
+  roughly [-120, 135]) for the inference-only ImageNet networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import child_rng
+
+__all__ = ["synthetic_cifar", "imagenet_like", "class_templates"]
+
+#: Number of classes in the synthetic CIFAR-like task.
+CIFAR_CLASSES = 10
+
+#: Pixel range of mean-subtracted 8-bit images (BVLC Caffe convention).
+IMAGENET_PIXEL_LO = -120.0
+IMAGENET_PIXEL_HI = 135.0
+
+
+def class_templates(size: int = 32, seed: int = 1234) -> np.ndarray:
+    """Deterministic per-class template images, shape ``(10, 3, size, size)``.
+
+    Each class combines an oriented sinusoidal grating (distinct frequency
+    and angle), a class-colored disk at a class-specific position, and a
+    fixed random texture — enough structure that a 3-conv CNN separates
+    the classes, like CIFAR-10's object categories.
+    """
+    rng = child_rng(seed, 0)
+    yy, xx = np.meshgrid(np.linspace(-1, 1, size), np.linspace(-1, 1, size), indexing="ij")
+    templates = np.empty((CIFAR_CLASSES, 3, size, size), dtype=np.float64)
+    for k in range(CIFAR_CLASSES):
+        angle = np.pi * k / CIFAR_CLASSES
+        freq = 2.0 + 0.7 * k
+        grating = np.sin(freq * np.pi * (xx * np.cos(angle) + yy * np.sin(angle)))
+        cy, cx = 0.8 * np.cos(2 * np.pi * k / CIFAR_CLASSES), 0.8 * np.sin(2 * np.pi * k / CIFAR_CLASSES)
+        disk = ((yy - cy) ** 2 + (xx - cx) ** 2 < 0.15).astype(np.float64)
+        texture = rng.normal(0.0, 0.25, (3, size, size))
+        color = rng.uniform(-1.0, 1.0, 3)
+        for ch in range(3):
+            templates[k, ch] = 0.8 * grating + color[ch] * disk + texture[ch]
+    return templates
+
+
+def synthetic_cifar(
+    n: int,
+    seed: int = 0,
+    size: int = 32,
+    noise: float = 0.7,
+    max_shift: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the synthetic CIFAR-like task.
+
+    Args:
+        n: Number of images.
+        seed: RNG seed (images are deterministic per seed).
+        size: Spatial extent.
+        noise: Instance-noise standard deviation.
+        max_shift: Maximum circular translation jitter in pixels.
+
+    Returns:
+        ``(images, labels)`` with images ``(n, 3, size, size)`` roughly in
+        [-2, 2] and integer labels in ``[0, 10)``.
+    """
+    rng = child_rng(seed, 1)
+    templates = class_templates(size=size)
+    labels = rng.integers(0, CIFAR_CLASSES, n)
+    images = templates[labels].copy()
+    shifts = rng.integers(-max_shift, max_shift + 1, (n, 2))
+    for i in range(n):
+        images[i] = np.roll(images[i], tuple(shifts[i]), axis=(1, 2))
+    images += rng.normal(0.0, noise, images.shape)
+    return images, labels.astype(np.int64)
+
+
+def _pink_noise(rng: np.random.Generator, c: int, h: int, w: int) -> np.ndarray:
+    """Spatially-correlated noise with an approximately 1/f spectrum."""
+    fy = np.fft.fftfreq(h)[:, None]
+    fx = np.fft.fftfreq(w)[None, :]
+    radius = np.sqrt(fy * fy + fx * fx)
+    radius[0, 0] = 1.0  # leave DC finite
+    spectrum = 1.0 / radius
+    out = np.empty((c, h, w), dtype=np.float64)
+    for ch in range(c):
+        phase = rng.uniform(0, 2 * np.pi, (h, w))
+        field = np.fft.ifft2(spectrum * np.exp(1j * phase)).real
+        field -= field.mean()
+        std = field.std()
+        out[ch] = field / std if std > 0 else field
+    return out
+
+
+def imagenet_like(
+    n: int,
+    size: int = 227,
+    seed: int = 0,
+) -> np.ndarray:
+    """Mean-subtracted natural-statistics inputs for the ImageNet networks.
+
+    Returns images of shape ``(n, 3, size, size)`` whose values span the
+    mean-subtracted 8-bit pixel range (about [-120, 135]), giving the
+    first convolution the same input dynamic range as the paper's
+    pipeline (Table 4's layer-1 ranges of several hundred follow from
+    this scale times the kernel fan-in).
+    """
+    rng = child_rng(seed, 2)
+    images = np.empty((n, 3, size, size), dtype=np.float64)
+    span = IMAGENET_PIXEL_HI - IMAGENET_PIXEL_LO
+    for i in range(n):
+        field = _pink_noise(rng, 3, size, size)
+        # Map ~N(0,1) correlated noise onto the pixel range, clipping the
+        # tails like a real sensor does.
+        pix = np.clip(field, -2.5, 2.5) / 5.0 + 0.5  # -> [0, 1]
+        images[i] = IMAGENET_PIXEL_LO + span * pix
+    return images

@@ -1,0 +1,59 @@
+"""Network-in-Network (Lin et al.): 12 CONV layers, no FC, no softmax.
+
+Four stages, each a spatial convolution followed by two 1x1 "mlpconv"
+layers; the classifier is a global average pool over 1000 channel maps.
+Because there is no softmax the output has rankings but no confidence
+scores, so the SDC-10%/-20% outcome classes are undefined for NiN
+(paper sections 4.1 and 5.1.1).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2D, GlobalAvgPool, MaxPool2D, ReLU
+from repro.nn.network import Network
+
+__all__ = ["build_nin", "NIN_SCALES"]
+
+#: Geometry per scale: (input_size, stage channels s1..s4).
+NIN_SCALES: dict[str, tuple[int, tuple[int, int, int, int]]] = {
+    "full": (227, (96, 256, 384, 1024)),
+    "reduced": (115, (32, 48, 64, 96)),
+}
+
+
+def build_nin(scale: str = "reduced") -> Network:
+    """Construct NiN at the requested scale, untrained/uncalibrated."""
+    try:
+        input_size, (s1, s2, s3, s4) = NIN_SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; options: {sorted(NIN_SCALES)}") from None
+
+    def stage(idx: int, cin: int, cout: int, kernel: int, stride: int, pad: int, pool: bool) -> list:
+        base = 3 * (idx - 1)
+        layers: list = [
+            Conv2D(f"conv{idx}", cin, cout, kernel, stride=stride, pad=pad),
+            ReLU(f"relu{base + 1}"),
+            Conv2D(f"cccp{base + 1}", cout, cout, 1),
+            ReLU(f"relu{base + 2}"),
+        ]
+        # Final 1x1 of the last stage maps onto the 1000 output channels.
+        out = 1000 if idx == 4 else cout
+        layers += [Conv2D(f"cccp{base + 2}", cout, out, 1), ReLU(f"relu{base + 3}")]
+        if pool:
+            layers.append(MaxPool2D(f"pool{idx}", 3, stride=2))
+        return layers
+
+    layers = (
+        stage(1, 3, s1, 11, 4, 0, pool=True)
+        + stage(2, s1, s2, 5, 1, 2, pool=True)
+        + stage(3, s2, s3, 3, 1, 1, pool=True)
+        + stage(4, s3, s4, 3, 1, 1, pool=False)
+        + [GlobalAvgPool("gap")]
+    )
+    return Network(
+        "NiN",
+        layers,
+        input_shape=(3, input_size, input_size),
+        dataset="ImageNet (synthetic)",
+        has_confidence=False,
+    )

@@ -1,0 +1,137 @@
+"""Network factory: build, initialize and cache the paper's four networks.
+
+``get_network(name, scale)`` returns a ready-to-use network:
+
+- ImageNet networks (AlexNet, CaffeNet, NiN) are He-initialized and then
+  calibrated so each block's error-free ACT range matches the paper's
+  Table 4 (see :mod:`repro.zoo.weights`).
+- ConvNet is trained with SGD on the synthetic CIFAR task.
+
+Results are memoized in-process and persisted to the on-disk store, so
+fault-injection worker processes pay the cost once per machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.nn.training import SGDTrainer
+from repro.utils.rng import child_rng
+from repro.zoo import store
+from repro.zoo.alexnet import build_alexnet
+from repro.zoo.caffenet import build_caffenet
+from repro.zoo.convnet import build_convnet
+from repro.zoo.datasets import imagenet_like, synthetic_cifar
+from repro.zoo.nin import build_nin
+from repro.zoo.vgg import build_vgg16, vgg_targets
+from repro.zoo.weights import TABLE4_RANGES, calibrate_to_ranges, he_init
+
+__all__ = ["NETWORKS", "get_network", "eval_inputs", "describe_networks", "clear_cache"]
+
+#: Network name -> builder; the paper's four (Table 2 order) plus the
+#: VGG-16 depth-study extension.
+NETWORKS = {
+    "ConvNet": build_convnet,
+    "AlexNet": build_alexnet,
+    "CaffeNet": build_caffenet,
+    "NiN": build_nin,
+    "VGG16": build_vgg16,
+}
+
+#: ConvNet training hyper-parameters (deterministic).  Training stops
+#: around ~85% train accuracy on purpose: the paper's CIFAR-10 ConvNet
+#: has moderate accuracy and unsaturated confidence scores, which is what
+#: makes it the most SDC-prone network (Figure 3b); training to 100%
+#: would saturate the logit margins and artificially mask faults.
+_CONVNET_TRAIN = {"images": 600, "epochs": 4, "batch": 16, "lr": 0.003, "seed": 11}
+
+_memo: dict[tuple[str, str], Network] = {}
+
+
+def clear_cache() -> None:
+    """Drop the in-process network memo (on-disk store is untouched)."""
+    _memo.clear()
+
+
+def _init_imagenet_net(net: Network, scale: str) -> None:
+    he_init(net, seed=7)
+    size = net.input_shape[1]
+    probe = imagenet_like(2, size=size, seed=21)
+    # Networks absent from Table 4 (VGG16) calibrate to the shared
+    # decay profile instead of measured paper ranges.
+    targets = None if net.name in TABLE4_RANGES else vgg_targets(net.n_blocks)
+    calibrate_to_ranges(net, probe, targets=targets, iterations=3)
+
+
+def _train_convnet(net: Network) -> None:
+    cfg = _CONVNET_TRAIN
+    he_init(net, seed=5)
+    x, y = synthetic_cifar(cfg["images"], seed=cfg["seed"])
+    trainer = SGDTrainer(net, lr=cfg["lr"], momentum=0.9, weight_decay=1e-4)
+    trainer.fit(
+        x,
+        y,
+        epochs=cfg["epochs"],
+        batch_size=cfg["batch"],
+        rng=child_rng(cfg["seed"], 3),
+        lr_decay=0.85,
+    )
+
+
+def get_network(name: str, scale: str = "reduced", use_store: bool = True) -> Network:
+    """Return an initialized network, memoized per (name, scale).
+
+    Args:
+        name: One of ``ConvNet``, ``AlexNet``, ``CaffeNet``, ``NiN``.
+        scale: ``"reduced"`` (default; laptop-sized, topology-faithful) or
+            ``"full"`` (paper-sized geometry).
+        use_store: Allow on-disk parameter caching.
+
+    Note:
+        The returned network is shared: treat its parameters as
+        read-only, or build a private copy via the underlying builder.
+    """
+    key = (name, scale)
+    if key in _memo:
+        return _memo[key]
+    try:
+        builder = NETWORKS[name]
+    except KeyError:
+        raise KeyError(f"unknown network {name!r}; known: {sorted(NETWORKS)}") from None
+    net = builder(scale=scale)
+    signature = f"{name}-{scale}-v1"
+    if not (use_store and store.load_params(net, signature)):
+        if name == "ConvNet":
+            _train_convnet(net)
+        else:
+            _init_imagenet_net(net, scale)
+        if use_store:
+            store.save_params(net, signature)
+    _memo[key] = net
+    return net
+
+
+def eval_inputs(name: str, n: int, scale: str = "reduced", seed: int = 100) -> np.ndarray:
+    """Representative evaluation inputs for a network.
+
+    ConvNet gets held-out synthetic CIFAR images (disjoint seed from the
+    training set); ImageNet networks get :func:`imagenet_like` inputs at
+    their native input size.
+    """
+    if name == "ConvNet":
+        x, _ = synthetic_cifar(n, seed=seed)
+        return x
+    net = NETWORKS[name](scale=scale)
+    return imagenet_like(n, size=net.input_shape[1], seed=seed)
+
+
+#: The paper's evaluated networks (Table 2 order); NETWORKS additionally
+#: carries extension networks (VGG16) that Table 2 must not list.
+PAPER_NETWORKS = ("ConvNet", "AlexNet", "CaffeNet", "NiN")
+
+
+def describe_networks(scale: str = "reduced", include_extensions: bool = False) -> list[dict]:
+    """Regenerate Table 2: one description row per network."""
+    names = tuple(NETWORKS) if include_extensions else PAPER_NETWORKS
+    return [get_network(name, scale).describe() for name in names]

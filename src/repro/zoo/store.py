@@ -1,0 +1,74 @@
+"""On-disk parameter store for zoo networks.
+
+Building a zoo network involves He-init + Table-4 calibration (ImageNet
+networks) or actual SGD training (ConvNet) — deterministic but not free.
+The store persists the resulting parameters as ``.npz`` files keyed by a
+build signature, so campaign worker processes and repeated runs load
+instantly.  Location defaults to ``<repo>/.cache/repro-weights`` and can
+be overridden with the ``REPRO_CACHE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import Network
+
+__all__ = ["cache_dir", "save_params", "load_params", "params_path"]
+
+
+def cache_dir() -> Path:
+    """Resolve the weight-cache directory (created on demand)."""
+    root = os.environ.get("REPRO_CACHE")
+    path = Path(root) if root else Path.cwd() / ".cache" / "repro-weights"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def params_path(signature: str) -> Path:
+    """Cache file path for a build signature."""
+    safe = "".join(ch if (ch.isalnum() or ch in "-_.") else "_" for ch in signature)
+    return cache_dir() / f"{safe}.npz"
+
+
+def save_params(network: Network, signature: str) -> Path:
+    """Persist all layer parameters of ``network`` under ``signature``."""
+    arrays: dict[str, np.ndarray] = {}
+    for i, layer in enumerate(network.layers):
+        for pname, arr in layer.params().items():
+            arrays[f"{i}.{pname}"] = arr
+    path = params_path(signature)
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **arrays)
+    tmp.replace(path)
+    return path
+
+
+def load_params(network: Network, signature: str) -> bool:
+    """Load parameters for ``signature`` into ``network`` if cached.
+
+    Returns:
+        True when parameters were found and loaded; False when absent or
+        shape-incompatible (in which case the network is left untouched).
+    """
+    path = params_path(signature)
+    if not path.exists():
+        return False
+    try:
+        with np.load(path) as data:
+            staged: list[tuple[np.ndarray, np.ndarray]] = []
+            for i, layer in enumerate(network.layers):
+                for pname, arr in layer.params().items():
+                    key = f"{i}.{pname}"
+                    if key not in data or data[key].shape != arr.shape:
+                        return False
+                    staged.append((arr, data[key]))
+            for dst, src in staged:
+                dst[:] = src
+    except (OSError, ValueError):
+        return False
+    network.invalidate_weight_caches()
+    return True

@@ -1,0 +1,76 @@
+"""VGG-16 (Simonyan & Zisserman): the depth-study extension network.
+
+The paper cites VGG as a standard accelerator benchmark (section 4.1)
+but does not evaluate it.  We add it as the deep end of the
+depth-vs-masking study (`repro-exp depth`): 13 CONV + 3 FC layers, no
+normalization — twice AlexNet's depth with the same layer kinds, so any
+resilience difference is attributable to depth alone.
+
+VGG is absent from Table 4, so calibration targets follow the decay
+profile the paper's networks share: first-layer ranges of several
+hundred (mean-subtracted pixels times fan-in) shrinking geometrically to
+a few tens at the classifier (see :func:`vgg_targets`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.nn.network import Network
+
+__all__ = ["build_vgg16", "vgg_targets", "VGG_SCALES"]
+
+#: Geometry per scale: (input size, per-stage channels, fc width).
+VGG_SCALES: dict[str, tuple[int, tuple[int, int, int, int, int], int]] = {
+    "full": (224, (64, 128, 256, 512, 512), 4096),
+    "reduced": (64, (16, 32, 64, 96, 96), 256),
+}
+
+#: Convs per stage in VGG-16 (13 total).
+STAGE_DEPTHS = (2, 2, 3, 3, 3)
+
+
+def build_vgg16(scale: str = "reduced") -> Network:
+    """Construct VGG-16 at the requested scale, untrained/uncalibrated."""
+    try:
+        input_size, stage_channels, fc_width = VGG_SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; options: {sorted(VGG_SCALES)}") from None
+    layers: list = []
+    cin = 3
+    conv_id = 0
+    for stage, (depth, cout) in enumerate(zip(STAGE_DEPTHS, stage_channels), start=1):
+        for _ in range(depth):
+            conv_id += 1
+            layers.append(Conv2D(f"conv{conv_id}", cin, cout, 3, stride=1, pad=1))
+            layers.append(ReLU(f"relu{conv_id}"))
+            cin = cout
+        layers.append(MaxPool2D(f"pool{stage}", 2, stride=2))
+    spatial = input_size // 2 ** len(STAGE_DEPTHS)
+    layers += [
+        Flatten("flatten"),
+        Dense("fc14", cin * spatial * spatial, fc_width),
+        ReLU("relu14"),
+        Dense("fc15", fc_width, fc_width),
+        ReLU("relu15"),
+        Dense("fc16", fc_width, 1000),
+        Softmax("softmax"),
+    ]
+    return Network(
+        "VGG16",
+        layers,
+        input_shape=(3, input_size, input_size),
+        dataset="ImageNet (synthetic)",
+    )
+
+
+def vgg_targets(n_blocks: int = 16, first: float = 700.0, last: float = 16.0) -> list[float]:
+    """Geometric per-block max-|ACT| calibration profile.
+
+    Mirrors the decay every Table 4 network shows: hundreds at the first
+    convolution down to tens at the classifier output.
+    """
+    if n_blocks < 2:
+        raise ValueError("need at least two blocks")
+    return list(np.geomspace(first, last, n_blocks))

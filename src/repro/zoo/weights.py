@@ -1,0 +1,155 @@
+"""Synthetic pre-trained weights, calibrated against the paper's Table 4.
+
+The BVLC pre-trained Caffe models are not available offline, so the
+ImageNet networks use deterministic He-initialized weights whose per-layer
+gains are then *calibrated* so the error-free activation dynamic range of
+every block matches the range the paper measured for the real weights
+(Table 4).  Error propagation in the paper is governed by exactly these
+ranges — faults are SDC-prone when they push a value far outside the
+layer's natural range — so matching them preserves the propagation physics
+(see DESIGN.md, substitutions).
+
+ConvNet is handled differently: it is small enough to genuinely train on
+the synthetic CIFAR task (:mod:`repro.nn.training`), which reproduces the
+paper's "shallow network with few output candidates" behaviour for real.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.nn.profiling import profile_ranges
+from repro.utils.rng import child_rng
+
+__all__ = ["TABLE4_RANGES", "he_init", "calibrate_to_ranges", "max_abs_targets"]
+
+#: Paper Table 4: error-free (min, max) ACT range per layer per network.
+TABLE4_RANGES: dict[str, list[tuple[float, float]]] = {
+    "AlexNet": [
+        (-691.813, 662.505),
+        (-228.296, 224.248),
+        (-89.051, 98.62),
+        (-69.245, 145.674),
+        (-36.4747, 133.413),
+        (-78.978, 43.471),
+        (-15.043, 11.881),
+        (-5.542, 15.775),
+    ],
+    "CaffeNet": [
+        (-869.349, 608.659),
+        (-406.859, 156.569),
+        (-73.4652, 88.5085),
+        (-46.3215, 85.3181),
+        (-43.9878, 155.383),
+        (-81.1167, 38.9238),
+        (-14.6536, 10.4386),
+        (-5.81158, 15.0622),
+    ],
+    "NiN": [
+        (-738.199, 714.962),
+        (-401.86, 1267.8),
+        (-397.651, 1388.88),
+        (-1041.76, 875.372),
+        (-684.957, 1082.81),
+        (-249.48, 1244.37),
+        (-737.845, 940.277),
+        (-459.292, 584.412),
+        (-162.314, 437.883),
+        (-258.273, 283.789),
+        (-124.001, 140.006),
+        (-26.4835, 88.1108),
+    ],
+    "ConvNet": [
+        (-1.45216, 1.38183),
+        (-2.16061, 1.71745),
+        (-1.61843, 1.37389),
+        (-3.08903, 4.94451),
+        (-9.24791, 11.8078),
+    ],
+}
+
+
+def max_abs_targets(network_name: str) -> list[float]:
+    """Per-block calibration targets: ``max(|lo|, |hi|)`` from Table 4."""
+    try:
+        ranges = TABLE4_RANGES[network_name]
+    except KeyError:
+        raise KeyError(f"no Table 4 ranges for {network_name!r}") from None
+    return [max(abs(lo), abs(hi)) for lo, hi in ranges]
+
+
+def he_init(network: Network, seed: int = 7) -> None:
+    """He-initialize every MAC layer of ``network`` in place.
+
+    Weights are N(0, sqrt(2/fan_in)); biases are small positive values,
+    matching common CNN initialization.  Deterministic per (network name,
+    seed, layer index).
+    """
+    name_key = zlib.crc32(network.name.encode()) & 0xFFFF
+    for j, i in enumerate(network.mac_layer_indices()):
+        layer = network.layers[i]
+        rng = child_rng(seed, name_key, j)
+        w = layer.params()["weight"]
+        fan_in = int(np.prod(w.shape[1:]))
+        w[:] = rng.normal(0.0, np.sqrt(2.0 / fan_in), w.shape)
+        layer.params()["bias"][:] = 0.01
+    network.invalidate_weight_caches()
+
+
+def calibrate_to_ranges(
+    network: Network,
+    probe_inputs: np.ndarray,
+    targets: list[float] | None = None,
+    iterations: int = 2,
+) -> list[float]:
+    """Scale MAC-layer weights so block ACT ranges match Table 4.
+
+    Blocks are calibrated in order; since scaling layer *b* changes the
+    inputs of every later block (and LRN responds nonlinearly), a second
+    sweep refines the gains.
+
+    Args:
+        network: Network to calibrate in place (weights already
+            initialized).
+        probe_inputs: Representative input batch ``(n, *input_shape)``.
+        targets: Per-block max-|ACT| targets; defaults to the paper's
+            Table 4 values for ``network.name``.
+        iterations: Calibration sweeps.
+
+    Returns:
+        The achieved per-block max-|ACT| values after calibration.
+    """
+    if targets is None:
+        targets = max_abs_targets(network.name)
+    mac_idx = network.mac_layer_indices()
+    if len(targets) != len(mac_idx):
+        raise ValueError(
+            f"{network.name}: {len(targets)} targets for {len(mac_idx)} MAC blocks"
+        )
+    for _ in range(iterations):
+        profile = profile_ranges(network, probe_inputs, dtype=None, scope="all")
+        # One profiling pass per sweep: conv/ReLU/pool blocks are
+        # positively homogeneous, so after scaling blocks 1..b-1 the input
+        # of block b is multiplied by the cumulative gain `cascade`, and
+        # its observed range by the same factor.  LRN breaks homogeneity;
+        # the extra sweeps absorb that residual.
+        cascade = 1.0
+        for b, li in enumerate(mac_idx, start=1):
+            observed = max(abs(profile.ranges[b].lo), abs(profile.ranges[b].hi))
+            effective = observed * cascade
+            if effective <= 0:
+                continue
+            gain = targets[b - 1] / effective
+            layer = network.layers[li]
+            layer.params()["weight"] *= gain
+            layer.params()["bias"] *= gain
+            cascade *= gain
+        network.invalidate_weight_caches()
+    final = profile_ranges(network, probe_inputs, dtype=None, scope="all")
+    return [
+        max(abs(final.ranges[b].lo), abs(final.ranges[b].hi))
+        for b in range(1, len(mac_idx) + 1)
+    ]

@@ -1,0 +1,148 @@
+"""Accelerator models: datapath latches, buffers, Eyeriss, reuse analysis."""
+
+import pytest
+
+from repro.accel import (
+    ACCELERATOR_PROFILES,
+    EYERISS_16NM,
+    EYERISS_65NM,
+    LATCH_CLASSES,
+    BufferSpec,
+    DatapathModel,
+    analyze_conv_reuse,
+    network_reuse_report,
+    scale_config,
+    table1_rows,
+    table7_rows,
+)
+from repro.nn import Conv2D
+from tests.conftest import build_tiny_network
+
+
+class TestDatapathModel:
+    def test_latch_inventory(self):
+        assert len(LATCH_CLASSES) == 5
+        names = {lc.name for lc in LATCH_CLASSES}
+        assert names == {"weight_operand", "input_operand", "product", "psum", "accumulator"}
+
+    def test_bits_scale_with_width_and_pes(self):
+        dp16 = DatapathModel(n_pes=100, data_width=16)
+        dp32 = DatapathModel(n_pes=100, data_width=32)
+        assert dp16.latch_bits_per_pe == 5 * 16
+        assert dp32.total_latch_bits == 2 * dp16.total_latch_bits
+        assert dp16.total_latch_bits == 100 * 80
+
+    def test_bits_of_class(self):
+        dp = DatapathModel(n_pes=10, data_width=16)
+        assert dp.bits_of("product") == 160
+        with pytest.raises(KeyError):
+            dp.bits_of("bogus")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DatapathModel(n_pes=0, data_width=16)
+
+    def test_size_mbit(self):
+        dp = DatapathModel(n_pes=1_000_000, data_width=20)
+        assert dp.size_mbit == pytest.approx(100.0)
+
+
+class TestBufferSpec:
+    def test_totals(self):
+        spec = BufferSpec("b", 2.0, 4, "layer_weight")
+        assert spec.total_kbytes == 8.0
+        assert spec.total_bits == 8 * 1024 * 8
+
+    def test_invalid_scope(self):
+        with pytest.raises(ValueError):
+            BufferSpec("b", 1.0, 1, "bogus")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BufferSpec("b", 0.0, 1, "layer_weight")
+
+    def test_scaled(self):
+        spec = BufferSpec("b", 1.0, 2, "single_read")
+        s = spec.scaled(8, 1)
+        assert s.kbytes_per_instance == 8.0 and s.instances == 2
+        assert s.fault_scope == "single_read"
+
+
+class TestEyeriss:
+    def test_table7_65nm(self):
+        assert EYERISS_65NM.n_pes == 168
+        assert EYERISS_65NM.global_buffer.kbytes_per_instance == 98.0
+        assert EYERISS_65NM.data_width == 16
+
+    def test_table7_16nm_projection(self):
+        assert EYERISS_16NM.n_pes == 1344
+        assert EYERISS_16NM.global_buffer.kbytes_per_instance == 784.0
+        assert EYERISS_16NM.filter_sram.kbytes_per_instance == pytest.approx(3.52)
+        assert EYERISS_16NM.img_reg.kbytes_per_instance == pytest.approx(0.1875)
+        assert EYERISS_16NM.psum_reg.kbytes_per_instance == pytest.approx(0.375)
+
+    def test_buffer_capacity_scales_8x(self):
+        for b65, b16 in zip(EYERISS_65NM.buffers(), EYERISS_16NM.buffers()):
+            assert b16.total_kbytes == pytest.approx(8 * b65.total_kbytes)
+
+    def test_fit_backsolve_matches_paper_table8(self):
+        """The paper's Table 8 FIT values imply these component sizes."""
+        from repro.core.fit import fit_rate
+
+        assert fit_rate(EYERISS_16NM.filter_sram.size_mbit, 0.0317) == pytest.approx(3.00, rel=0.10)
+        assert fit_rate(EYERISS_16NM.global_buffer.size_mbit, 0.697) == pytest.approx(87.47, rel=0.10)
+        assert fit_rate(EYERISS_16NM.psum_reg.size_mbit, 0.2798) == pytest.approx(2.82, rel=0.10)
+
+    def test_buffer_named(self):
+        assert EYERISS_16NM.buffer_named("Img REG").fault_scope == "row_activation"
+        with pytest.raises(KeyError):
+            EYERISS_16NM.buffer_named("L2")
+
+    def test_datapath_property(self):
+        dp = EYERISS_16NM.datapath
+        assert dp.n_pes == 1344 and dp.data_width == 16
+
+    def test_scale_config_identity(self):
+        same = scale_config(EYERISS_65NM, 65, 0)
+        assert same.n_pes == EYERISS_65NM.n_pes
+        assert same.global_buffer.kbytes_per_instance == 98.0
+
+    def test_table7_rows(self):
+        rows = table7_rows()
+        assert [r["feature_size"] for r in rows] == ["65nm", "16nm"]
+
+
+class TestReuseTaxonomy:
+    def test_eyeriss_exploits_all_three(self):
+        eyeriss = next(p for p in ACCELERATOR_PROFILES if p.name == "Eyeriss")
+        assert eyeriss.reuse_kinds == ("weight", "image", "output")
+        assert eyeriss.local_buffer_classes == ("Filter SRAM", "Img REG", "PSum REG")
+
+    def test_table1_has_four_families(self):
+        assert len(table1_rows()) == 4
+
+    def test_no_reuse_family(self):
+        diannao = ACCELERATOR_PROFILES[0]
+        assert diannao.reuse_kinds == ()
+        assert diannao.local_buffer_classes == ()
+
+
+class TestDataflowAnalysis:
+    def test_conv_reuse_counts(self):
+        conv = Conv2D("c", 3, 8, 3, stride=1, pad=1)
+        stats = analyze_conv_reuse(conv, (3, 8, 8))
+        assert stats.weight_uses == 64  # one per output pixel
+        assert stats.psum_uses == 1
+        assert stats.chain_length == 27
+        assert stats.image_row_uses == 3 * 8  # 3-wide window cover x 8 filters
+        assert stats.image_total_uses == 9 * 8
+
+    def test_strided_cover(self):
+        conv = Conv2D("c", 1, 4, 5, stride=2)
+        stats = analyze_conv_reuse(conv, (1, 16, 16))
+        assert stats.image_row_uses == 3 * 4  # ceil(5/2)=3 positions x 4 filters
+
+    def test_network_report_covers_convs(self):
+        net = build_tiny_network()
+        report = network_reuse_report(net)
+        assert [s.layer for s in report] == ["c1", "c2"]

@@ -1,0 +1,56 @@
+"""Terminal plotting helpers."""
+
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart(["a", "b"], [0.5, 1.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_all_zero_renders_empty_bars(self):
+        out = bar_chart(["a"], [0.0], width=10)
+        assert "#" not in out
+
+    def test_title(self):
+        out = bar_chart(["a"], [1.0], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_label_alignment(self):
+        out = bar_chart(["a", "bbb"], [1.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_custom_format(self):
+        out = bar_chart(["a"], [0.5], fmt="{:.1f}")
+        assert "0.5" in out
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        out = sparkline([0, 1, 2, 3, 4])
+        assert out[0] < out[-1]
+        assert len(out) == 5
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        out = sparkline([2.0, 2.0, 2.0])
+        assert len(set(out)) == 1
+
+    def test_fixed_bounds_clip(self):
+        out = sparkline([-5, 0.5, 10], lo=0.0, hi=1.0)
+        assert out[0] == " " and out[-1] == "█"

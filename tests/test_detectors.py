@@ -1,0 +1,93 @@
+"""Symptom-based error detector (SED): learning, checking, scanning."""
+
+import numpy as np
+import pytest
+
+from repro.core.detectors import DetectorQuality, SymptomDetector, learn_detector
+from repro.core.fault import DatapathFault
+from repro.core.injector import inject_datapath
+from repro.dtypes import FLOAT16
+from repro.nn.profiling import BlockRange, RangeProfile
+from tests.conftest import build_tiny_network
+
+
+def make_detector(bounds: dict[int, tuple[float, float]], cushion=0.0) -> SymptomDetector:
+    profile = RangeProfile("t", {b: BlockRange(b, lo, hi) for b, (lo, hi) in bounds.items()})
+    return SymptomDetector(profile, cushion=cushion)
+
+
+class TestSymptomDetector:
+    def test_check_flags_out_of_range(self):
+        det = make_detector({1: (-1.0, 1.0)})
+        assert not det.check(1, np.array([0.0, 0.5]))
+        assert det.check(1, np.array([0.0, 2.0]))
+        assert det.check(1, np.array([np.nan]))
+        assert det.check(1, np.array([np.inf]))
+
+    def test_unknown_block_never_fires(self):
+        det = make_detector({1: (-1.0, 1.0)})
+        assert not det.check(9, np.array([1e9]))
+
+    def test_cushion_suppresses_borderline(self):
+        tight = make_detector({1: (-1.0, 1.0)}, cushion=0.0)
+        cushioned = make_detector({1: (-1.0, 1.0)}, cushion=0.10)
+        v = np.array([1.05])
+        assert tight.check(1, v)
+        assert not cushioned.check(1, v)
+
+    def test_negative_cushion_rejected(self):
+        with pytest.raises(ValueError):
+            make_detector({1: (-1, 1)}, cushion=-0.1)
+
+    def test_checkpoints_at_block_outputs(self, tiny_network):
+        det = make_detector({1: (-1, 1)})
+        points = det.checkpoints(tiny_network)
+        # block outputs: pool1 (idx 2), flatten (idx 6, same values as
+        # pool2), fc (idx 7; the softmax is excluded)
+        assert points == {2: 1, 6: 2, 7: 3}
+
+
+class TestLearnAndScan:
+    def test_learned_detector_quiet_on_clean_runs(self, tiny_network, rng):
+        inputs = rng.normal(0, 1, (6, 3, 8, 8))
+        det = learn_detector(tiny_network, inputs, dtype=FLOAT16)
+        res = tiny_network.forward(inputs[0], dtype=FLOAT16, record=True)
+        assert not det.scan(tiny_network, res.activations, 0)
+
+    def test_detects_injected_out_of_range(self, tiny_network, rng):
+        inputs = rng.normal(0, 1, (6, 3, 8, 8))
+        det = learn_detector(tiny_network, inputs, dtype=FLOAT16)
+        golden = tiny_network.forward(inputs[0], dtype=FLOAT16, record=True)
+        # Pick a conv1 output in [0.5, 2): its top exponent bit is 0, so
+        # flipping bit 14 at the last MAC step lands far out of range.
+        conv_out = golden.activations[1]
+        victim = tuple(int(v) for v in np.argwhere((conv_out > 0.5) & (conv_out < 2.0))[0])
+        last_step = tiny_network.layers[0].chain_length((3, 8, 8)) - 1
+        fault = DatapathFault(0, victim, last_step, "accumulator", 14)
+        inj = inject_datapath(tiny_network, FLOAT16, fault, golden, record=True)
+        assert not inj.masked
+        assert abs(inj.value_after) > 1e4 or not np.isfinite(inj.value_after)
+        assert det.scan(tiny_network, inj.faulty_activations, inj.resume_index)
+
+    def test_scan_ignores_upstream_checkpoints(self, tiny_network, rng):
+        inputs = rng.normal(0, 1, (4, 3, 8, 8))
+        det = learn_detector(tiny_network, inputs, dtype=FLOAT16)
+        golden = tiny_network.forward(inputs[0], dtype=FLOAT16, record=True)
+        # fault at the FC layer: only the block-3 checkpoint can fire
+        fc_idx = tiny_network.mac_layer_indices()[-1]
+        fault = DatapathFault(fc_idx, (2,), 3, "accumulator", 14)
+        inj = inject_datapath(tiny_network, FLOAT16, fault, golden, record=True)
+        fired = det.scan(tiny_network, inj.faulty_activations, inj.resume_index)
+        assert isinstance(fired, bool)
+
+
+class TestDetectorQuality:
+    def test_paper_precision_definition(self):
+        q = DetectorQuality(true_positives=9, false_positives=2, total_sdc=10, total_injected=100)
+        assert q.precision == pytest.approx(0.98)  # 1 - 2/100
+        assert q.recall == pytest.approx(0.9)
+        assert q.standard_precision == pytest.approx(9 / 11)
+
+    def test_degenerate_counts(self):
+        q = DetectorQuality(0, 0, 0, 0)
+        assert q.precision == 1.0 and q.recall == 1.0 and q.standard_precision == 1.0

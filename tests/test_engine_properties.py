@@ -1,0 +1,134 @@
+"""Property-based tests on engine/injector invariants (hypothesis).
+
+These fuzz the structural guarantees the fault-injection methodology
+rests on: typed closure of activations, bit-exact resume-from-layer,
+chain/vectorized agreement, and masked-injection identity — across
+randomly drawn layer geometries, formats and fault sites.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fault import DatapathFault, sample_datapath_fault
+from repro.core.injector import inject_datapath, replay_chain
+from repro.dtypes import DTYPES
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, Network, ReLU, Softmax
+from repro.utils.rng import child_rng
+
+DTYPE_NAMES = sorted(DTYPES)
+
+
+def random_network(seed: int, channels: int, kernel: int, stride: int) -> Network:
+    """A small conv+fc network with drawn geometry and seeded weights."""
+    pad = kernel // 2
+    conv = Conv2D("c1", 2, channels, kernel, stride=stride, pad=pad)
+    size = conv.out_shape((2, 9, 9))
+    flat = int(np.prod((channels, size[1] // 2 or 1, size[2] // 2 or 1)))
+    layers = [
+        conv,
+        ReLU("r1"),
+        MaxPool2D("p1", 2) if size[1] >= 2 else ReLU("r1b"),
+        Flatten("fl"),
+        Dense("fc", flat if size[1] >= 2 else int(np.prod(size)), 4),
+        Softmax("sm"),
+    ]
+    net = Network("prop", layers, input_shape=(2, 9, 9))
+    g = np.random.default_rng(seed)
+    for i in net.mac_layer_indices():
+        layer = net.layers[i]
+        w = layer.params()["weight"]
+        w[:] = g.normal(0, 0.4, w.shape)
+        layer.params()["bias"][:] = g.normal(0, 0.05, layer.params()["bias"].shape)
+    return net
+
+
+net_geometry = st.tuples(
+    st.integers(0, 10_000),  # seed
+    st.integers(1, 5),  # channels
+    st.sampled_from([1, 3, 5]),  # kernel
+    st.integers(1, 2),  # stride
+)
+
+
+@given(geo=net_geometry, name=st.sampled_from(DTYPE_NAMES))
+@settings(max_examples=25, deadline=None)
+def test_typed_forward_closure(geo, name):
+    """Every recorded activation is representable in the target format."""
+    dt = DTYPES[name]
+    net = random_network(*geo)
+    x = np.random.default_rng(geo[0] + 1).normal(0, 1, (2, 9, 9))
+    res = net.forward(x, dtype=dt, record=True)
+    for act in res.activations[:-1]:  # softmax output is host-side float64
+        assert np.array_equal(act, dt.quantize(act), equal_nan=True)
+
+
+@given(geo=net_geometry, name=st.sampled_from(DTYPE_NAMES), split=st.integers(0, 5))
+@settings(max_examples=25, deadline=None)
+def test_resume_bit_exact_at_any_split(geo, name, split):
+    dt = DTYPES[name]
+    net = random_network(*geo)
+    x = np.random.default_rng(geo[0] + 2).normal(0, 1, (2, 9, 9))
+    full = net.forward(x, dtype=dt, record=True)
+    idx = min(split, len(net.layers))
+    resumed = net.forward_from(idx, full.activations[idx], dtype=dt)
+    assert np.array_equal(resumed.scores, full.scores, equal_nan=True)
+
+
+@given(geo=net_geometry, trial=st.integers(0, 1000), name=st.sampled_from(DTYPE_NAMES))
+@settings(max_examples=30, deadline=None)
+def test_masked_injection_returns_golden(geo, trial, name):
+    """Injection either changes the chain value or returns the golden
+    scores verbatim — never a silent third state."""
+    dt = DTYPES[name]
+    net = random_network(*geo)
+    x = np.random.default_rng(geo[0] + 3).normal(0, 1, (2, 9, 9))
+    golden = net.forward(x, dtype=dt, record=True)
+    fault = sample_datapath_fault(net, dt, child_rng(geo[0], trial))
+    res = inject_datapath(net, dt, fault, golden)
+    if res.masked:
+        assert res.scores is golden.scores or np.array_equal(
+            res.scores, golden.scores, equal_nan=True
+        )
+    else:
+        assert res.value_after != res.value_before or (
+            np.isnan(res.value_after) != np.isnan(res.value_before)
+        )
+
+
+@given(geo=net_geometry, out_j=st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_chain_matches_vectorized_in_double(geo, out_j):
+    """In DOUBLE (no rounding), the FC chain replay equals the GEMM."""
+    net = random_network(*geo)
+    x = np.random.default_rng(geo[0] + 4).normal(0, 1, (2, 9, 9))
+    golden = net.forward(x, dtype=DTYPES["DOUBLE"], record=True)
+    fc_idx = net.mac_layer_indices()[-1]
+    layer = net.layers[fc_idx]
+    chain = layer.mac_operands(golden.activations[fc_idx], (out_j,), DTYPES["DOUBLE"])
+    replayed = replay_chain(DTYPES["DOUBLE"], chain)
+    assert np.isclose(replayed, golden.activations[fc_idx + 1][out_j], rtol=1e-12)
+
+
+@given(
+    geo=net_geometry,
+    name=st.sampled_from(DTYPE_NAMES),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_injection_changes_at_most_downstream(geo, name, data):
+    """A datapath fault never touches activations upstream of its layer."""
+    dt = DTYPES[name]
+    net = random_network(*geo)
+    x = np.random.default_rng(geo[0] + 5).normal(0, 1, (2, 9, 9))
+    golden = net.forward(x, dtype=dt, record=True)
+    fc_idx = net.mac_layer_indices()[-1]
+    bit = data.draw(st.integers(0, dt.width - 1))
+    step = data.draw(st.integers(0, net.layers[fc_idx].chain_length(net.shapes[fc_idx]) - 1))
+    fault = DatapathFault(fc_idx, (0,), step, "accumulator", bit)
+    res = inject_datapath(net, dt, fault, golden, record=True)
+    assert res.resume_index == fc_idx + 1
+    if not res.masked:
+        diff = res.faulty_activations[0] != golden.activations[fc_idx + 1]
+        both_nan = np.isnan(res.faulty_activations[0]) & np.isnan(golden.activations[fc_idx + 1])
+        assert (diff & ~both_nan).sum() <= 1

@@ -1,0 +1,47 @@
+"""Smoke-run every example application (they are deliverables too)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    env = dict(os.environ)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--trials", "40")
+        assert "SDC-1" in out
+        assert "FIT rate" in out
+
+    def test_misclassification_scenario(self):
+        out = run_example("self_driving_misclassification.py")
+        assert "misclassified" in out or "no SDC found" in out
+
+    def test_datatype_selection(self):
+        out = run_example("datatype_selection.py", "--trials", "30", "--network", "ConvNet")
+        assert "32b_rb10" in out and "fidelity" in out
+
+    def test_protection_pipeline(self):
+        out = run_example("protection_pipeline.py", "--trials", "30", "--network", "ConvNet")
+        assert "Eyeriss-16nm FIT" in out
+        assert "PASS" in out or "FAIL" in out
+
+    def test_protection_planner(self):
+        out = run_example("protection_planner.py", "--trials", "30", "--network", "ConvNet")
+        assert "cheapest stack" in out

@@ -1,0 +1,131 @@
+"""Extension features: Proteus reduced-precision storage and the DMR
+detection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignSpec, run_campaign
+from repro.core.fault import BufferFault
+from repro.core.injector import inject_buffer
+from repro.dtypes import FXP_16B_RB10, FXP_32B_RB10, get_dtype
+from repro.experiments.common import ExperimentConfig
+from tests.conftest import build_tiny_network
+
+
+class TestStorageDtypeForward:
+    def test_block_outputs_narrowed(self, tiny_network, tiny_input):
+        wide, narrow = FXP_32B_RB10, FXP_16B_RB10
+        res = tiny_network.forward(tiny_input, dtype=wide, storage_dtype=narrow, record=True)
+        for li in tiny_network.block_output_indices():
+            act = res.activations[li + 1]
+            assert np.array_equal(act, narrow.quantize(act)), li
+
+    def test_intermediate_layers_stay_wide(self, tiny_network, tiny_input):
+        wide, narrow = FXP_32B_RB10, FXP_16B_RB10
+        res = tiny_network.forward(tiny_input, dtype=wide, storage_dtype=narrow, record=True)
+        conv_out = res.activations[1]  # conv1 output: mid-block, not stored
+        # conv outputs carry full 32b_rb10 precision (values beyond 16b
+        # resolution or range survive until the block output)
+        assert conv_out.shape == (4, 8, 8)
+
+    def test_no_storage_means_unchanged(self, tiny_network, tiny_input):
+        a = tiny_network.forward(tiny_input, dtype=FXP_32B_RB10)
+        b = tiny_network.forward(tiny_input, dtype=FXP_32B_RB10, storage_dtype=None)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_block_output_indices(self, tiny_network):
+        assert tiny_network.block_output_indices() == frozenset({2, 6, 7})
+
+    def test_resume_respects_storage(self, tiny_network, tiny_input):
+        wide, narrow = FXP_32B_RB10, FXP_16B_RB10
+        full = tiny_network.forward(tiny_input, dtype=wide, storage_dtype=narrow, record=True)
+        resumed = tiny_network.forward_from(
+            3, full.activations[3], dtype=wide, storage_dtype=narrow
+        )
+        assert np.array_equal(resumed.scores, full.scores)
+
+
+class TestProteusInjection:
+    def test_buffer_flip_lands_in_storage_word(self, tiny_network, tiny_input):
+        wide, narrow = FXP_32B_RB10, FXP_16B_RB10
+        golden = tiny_network.forward(
+            tiny_input, dtype=wide, storage_dtype=narrow, record=True
+        )
+        li = tiny_network.mac_layer_indices()[1]
+        victim = (0, 2, 2)
+        fault = BufferFault("next_layer", li, victim, 14)  # top 16b integer bit
+        res = inject_buffer(
+            tiny_network, wide, fault, golden, storage_dtype=narrow
+        )
+        if not res.masked:
+            # A 16b_rb10 bit-14 flip moves the value by +/-16; a 32b_rb10
+            # bit-14 flip would move it by only 16 as well, but bit 30
+            # style escapes to ~2^20 are impossible in the narrow word.
+            assert abs(res.value_after) <= narrow.max_value + 1e-9
+
+    def test_proteus_not_worse_than_wide(self):
+        wide = run_campaign(
+            CampaignSpec(network="ConvNet", dtype="32b_rb10", target="layer_weight",
+                         n_trials=150, seed=9)
+        ).sdc_rate().p
+        proteus = run_campaign(
+            CampaignSpec(network="ConvNet", dtype="32b_rb10", target="layer_weight",
+                         n_trials=150, seed=9, storage_dtype="16b_rb10")
+        ).sdc_rate().p
+        assert proteus <= wide + 0.02
+
+    def test_spec_rejects_unknown_storage_dtype(self):
+        spec = CampaignSpec(
+            network="ConvNet", dtype="32b_rb10", n_trials=1, storage_dtype="8b_rb4"
+        )
+        with pytest.raises(KeyError):
+            run_campaign(spec)
+
+
+class TestDMRBaseline:
+    def test_dmr_recall_is_total(self):
+        res = run_campaign(
+            CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=120, seed=9,
+                         with_detection=True, detector_kind="dmr")
+        )
+        q = res.detection_quality()
+        if q.total_sdc:
+            assert q.recall == 1.0
+
+    def test_dmr_flags_all_activated(self):
+        res = run_campaign(
+            CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=120, seed=9,
+                         with_detection=True, detector_kind="dmr")
+        )
+        for r in res.records:
+            assert r.detected is not None
+
+    def test_dmr_precision_below_sed(self):
+        kwargs = dict(network="ConvNet", dtype="FLOAT16", n_trials=200, seed=10,
+                      with_detection=True)
+        sed = run_campaign(CampaignSpec(**kwargs, detector_kind="sed")).detection_quality()
+        dmr = run_campaign(CampaignSpec(**kwargs, detector_kind="dmr")).detection_quality()
+        assert dmr.precision < sed.precision
+
+    def test_invalid_detector_kind(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(network="ConvNet", dtype="FLOAT16", detector_kind="tmr")
+
+
+class TestExtensionExperiments:
+    CFG = ExperimentConfig(trials=30, seed=2)
+
+    def test_proteus_experiment(self):
+        from repro.experiments import ext_proteus
+
+        result = ext_proteus.run(self.CFG)
+        assert result["proteus_total"] <= result["wide_total"] + 1e-9
+        assert "Proteus" in ext_proteus.render(result)
+
+    def test_dmr_experiment(self):
+        from repro.experiments import ext_dmr_baseline
+
+        result = ext_dmr_baseline.run(self.CFG)
+        for row in result["networks"].values():
+            assert row["dmr"]["recall"] == 1.0 or row["dmr"]["total_sdc"] == 0
+        assert "DMR" in ext_dmr_baseline.render(result)

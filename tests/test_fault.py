@@ -1,0 +1,108 @@
+"""Fault-site descriptors and sampling distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.fault import (
+    DATAPATH_LATCHES,
+    BufferFault,
+    DatapathFault,
+    sample_buffer_fault,
+    sample_datapath_fault,
+)
+from repro.dtypes import FLOAT16, FXP_16B_RB10
+from tests.conftest import build_tiny_network
+
+
+class TestDescriptors:
+    def test_datapath_fault_validation(self):
+        with pytest.raises(ValueError):
+            DatapathFault(0, (0, 0, 0), 0, "bogus", 0)
+        with pytest.raises(ValueError):
+            DatapathFault(0, (0, 0, 0), -1, "psum", 0)
+
+    def test_buffer_fault_validation(self):
+        with pytest.raises(ValueError):
+            BufferFault("bogus", 0, (0,), 0)
+        with pytest.raises(ValueError):
+            BufferFault("layer_weight", 0, (0,), -1)
+
+
+class TestDatapathSampling:
+    def test_fields_in_range(self, tiny_network, rng):
+        for _ in range(50):
+            f = sample_datapath_fault(tiny_network, FLOAT16, rng)
+            layer = tiny_network.layers[f.layer_index]
+            in_shape = tiny_network.shapes[f.layer_index]
+            assert f.layer_index in tiny_network.mac_layer_indices()
+            assert 0 <= f.step < layer.chain_length(in_shape)
+            assert 0 <= f.bit < FLOAT16.width
+            assert f.latch in DATAPATH_LATCHES
+            assert len(f.out_index) == len(layer.out_shape(in_shape))
+
+    def test_mac_weighted_layer_choice(self, tiny_network, rng):
+        counts = {}
+        for _ in range(400):
+            f = sample_datapath_fault(tiny_network, FLOAT16, rng)
+            counts[f.layer_index] = counts.get(f.layer_index, 0) + 1
+        macs = tiny_network.mac_counts()
+        heaviest = max(macs, key=macs.get)
+        lightest = min(macs, key=macs.get)
+        assert counts.get(heaviest, 0) > counts.get(lightest, 0)
+
+    def test_pinning(self, tiny_network, rng):
+        li = tiny_network.mac_layer_indices()[1]
+        f = sample_datapath_fault(tiny_network, FLOAT16, rng, latch="psum", bit=3, layer_index=li)
+        assert f.latch == "psum" and f.bit == 3 and f.layer_index == li
+
+    def test_pin_non_mac_layer_rejected(self, tiny_network, rng):
+        with pytest.raises(ValueError):
+            sample_datapath_fault(tiny_network, FLOAT16, rng, layer_index=1)  # ReLU
+
+    def test_deterministic_per_stream(self, tiny_network):
+        a = sample_datapath_fault(tiny_network, FLOAT16, np.random.default_rng(7))
+        b = sample_datapath_fault(tiny_network, FLOAT16, np.random.default_rng(7))
+        assert a == b
+
+
+class TestBufferSampling:
+    def test_layer_weight_victim_within_tensor(self, tiny_network, rng):
+        for _ in range(30):
+            f = sample_buffer_fault(tiny_network, "layer_weight", FXP_16B_RB10, rng)
+            w = tiny_network.layers[f.layer_index].params()["weight"]
+            assert len(f.victim) == w.ndim
+            w[f.victim]  # indexable
+
+    def test_next_layer_victim_is_input_element(self, tiny_network, rng):
+        for _ in range(30):
+            f = sample_buffer_fault(tiny_network, "next_layer", FXP_16B_RB10, rng)
+            shape = tiny_network.shapes[f.layer_index]
+            assert len(f.victim) == len(shape)
+            assert all(0 <= v < s for v, s in zip(f.victim, shape))
+
+    def test_row_activation_targets_convs_with_valid_row(self, tiny_network, rng):
+        for _ in range(30):
+            f = sample_buffer_fault(tiny_network, "row_activation", FXP_16B_RB10, rng)
+            layer = tiny_network.layers[f.layer_index]
+            assert layer.kind == "conv"
+            _, oh, _ = layer.out_shape(tiny_network.shapes[f.layer_index])
+            assert 0 <= f.residency_row < oh
+            # the residency row actually reads the victim pixel
+            y = f.victim[1]
+            oy = f.residency_row
+            assert oy * layer.stride - layer.pad <= y <= oy * layer.stride - layer.pad + layer.kernel - 1
+
+    def test_single_read_victim_has_step(self, tiny_network, rng):
+        f = sample_buffer_fault(tiny_network, "single_read", FXP_16B_RB10, rng)
+        layer = tiny_network.layers[f.layer_index]
+        in_shape = tiny_network.shapes[f.layer_index]
+        *out_index, step = f.victim
+        assert 0 <= step < layer.chain_length(in_shape)
+
+    def test_unknown_scope_rejected(self, tiny_network, rng):
+        with pytest.raises(ValueError):
+            sample_buffer_fault(tiny_network, "bogus", FXP_16B_RB10, rng)
+
+    def test_bit_pinning(self, tiny_network, rng):
+        f = sample_buffer_fault(tiny_network, "layer_weight", FXP_16B_RB10, rng, bit=14)
+        assert f.bit == 14

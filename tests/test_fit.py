@@ -1,0 +1,107 @@
+"""FIT-rate calculation (Equation 1)."""
+
+import pytest
+
+from repro.accel import EYERISS_16NM, DatapathModel
+from repro.core.fit import (
+    ISO26262_SOC_FIT_BUDGET,
+    R_RAW_FIT_PER_MBIT_16NM,
+    buffer_fit,
+    datapath_fit,
+    eyeriss_total_fit,
+    fit_rate,
+)
+
+
+class TestEquation1:
+    def test_linear_in_size_and_sdc(self):
+        base = fit_rate(1.0, 0.1)
+        assert fit_rate(2.0, 0.1) == pytest.approx(2 * base)
+        assert fit_rate(1.0, 0.2) == pytest.approx(2 * base)
+
+    def test_constants(self):
+        assert R_RAW_FIT_PER_MBIT_16NM == pytest.approx(20.49)
+        assert ISO26262_SOC_FIT_BUDGET == 10.0
+
+    def test_zero_sdc_zero_fit(self):
+        assert fit_rate(100.0, 0.0) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            fit_rate(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            fit_rate(1.0, 1.5)
+
+
+class TestDatapathFit:
+    def test_single_probability_applies_to_all_classes(self):
+        dp = DatapathModel(n_pes=1000, data_width=16)
+        components = datapath_fit(dp, {"datapath": 0.05})
+        assert len(components) == 5
+        total = sum(c.fit for c in components)
+        assert total == pytest.approx(fit_rate(dp.size_mbit, 0.05))
+
+    def test_per_class_probabilities(self):
+        dp = DatapathModel(n_pes=10, data_width=16)
+        probs = {
+            "weight_operand": 0.1,
+            "input_operand": 0.0,
+            "product": 0.0,
+            "psum": 0.0,
+            "accumulator": 0.0,
+        }
+        components = datapath_fit(dp, probs)
+        nonzero = [c for c in components if c.fit > 0]
+        assert len(nonzero) == 1 and nonzero[0].component == "weight_operand"
+
+    def test_missing_class_raises(self):
+        dp = DatapathModel(n_pes=10, data_width=16)
+        with pytest.raises(KeyError):
+            datapath_fit(dp, {"weight_operand": 0.1})
+
+    def test_width_dependence(self):
+        sdc = {"datapath": 0.01}
+        fit16 = sum(c.fit for c in datapath_fit(DatapathModel(100, 16), sdc))
+        fit32 = sum(c.fit for c in datapath_fit(DatapathModel(100, 32), sdc))
+        assert fit32 == pytest.approx(2 * fit16)
+
+
+class TestBufferFit:
+    def test_buffer_fit(self):
+        spec = EYERISS_16NM.global_buffer
+        c = buffer_fit(spec, 0.5)
+        assert c.fit == pytest.approx(R_RAW_FIT_PER_MBIT_16NM * spec.size_mbit * 0.5)
+        assert c.component == "Global Buffer"
+
+
+class TestEyerissTotal:
+    BUF_SDC = {"Global Buffer": 0.1, "Filter SRAM": 0.05, "Img REG": 0.0, "PSum REG": 0.01}
+
+    def test_total_is_sum(self):
+        result = eyeriss_total_fit(EYERISS_16NM, {"datapath": 0.02}, self.BUF_SDC)
+        parts = [v for k, v in result.items() if k != "total"]
+        assert result["total"] == pytest.approx(sum(parts))
+
+    def test_detector_scales_everything(self):
+        base = eyeriss_total_fit(EYERISS_16NM, {"datapath": 0.02}, self.BUF_SDC)
+        protected = eyeriss_total_fit(
+            EYERISS_16NM, {"datapath": 0.02}, self.BUF_SDC, detector_recall=0.9
+        )
+        assert protected["total"] == pytest.approx(0.1 * base["total"])
+
+    def test_buffer_fit_dominates_datapath(self):
+        # Paper section 5.2.1: buffer FIT is orders of magnitude above
+        # datapath FIT at comparable SDC probabilities.
+        result = eyeriss_total_fit(
+            EYERISS_16NM, {"datapath": 0.05}, {k: 0.05 for k in self.BUF_SDC}
+        )
+        buffers = result["Global Buffer"] + result["Filter SRAM"]
+        assert buffers > 50 * result["datapath"]
+
+    def test_missing_buffer_raises(self):
+        with pytest.raises(KeyError):
+            eyeriss_total_fit(EYERISS_16NM, {"datapath": 0.0}, {"Global Buffer": 0.1})
+
+    def test_invalid_recall(self):
+        with pytest.raises(ValueError):
+            eyeriss_total_fit(EYERISS_16NM, {"datapath": 0.0}, self.BUF_SDC, detector_recall=1.5)

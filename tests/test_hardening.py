@@ -1,0 +1,155 @@
+"""Selective latch hardening: coverage curve, beta fit, optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hardening import (
+    HARDENING_TECHNIQUES,
+    coverage_curve,
+    fit_beta,
+    optimize_hardening,
+    single_technique_overhead,
+)
+
+RCC, SEUT, TMR = HARDENING_TECHNIQUES
+
+
+class TestTechniqueLibrary:
+    def test_table9_values(self):
+        assert (RCC.name, RCC.area, RCC.fit_reduction) == ("RCC", 1.15, 6.3)
+        assert (SEUT.name, SEUT.area, SEUT.fit_reduction) == ("SEUT", 2.0, 37.0)
+        assert (TMR.name, TMR.area, TMR.fit_reduction) == ("TMR", 3.5, 1_000_000.0)
+
+    def test_overhead(self):
+        assert RCC.overhead == pytest.approx(0.15)
+        assert TMR.overhead == pytest.approx(2.5)
+
+
+class TestCoverageCurve:
+    def test_most_sensitive_first(self):
+        fit = np.array([0.0, 10.0, 1.0, 0.0])
+        fraction, reduction = coverage_curve(fit)
+        assert fraction[0] == 0.0 and reduction[0] == 0.0
+        # protecting 1/4 of latches removes 10/11 of the FIT
+        assert reduction[1] == pytest.approx(10 / 11)
+        assert reduction[-1] == pytest.approx(1.0)
+
+    def test_uniform_fit_is_linear(self):
+        fraction, reduction = coverage_curve(np.ones(10))
+        assert np.allclose(reduction, fraction)
+
+    def test_all_zero(self):
+        _, reduction = coverage_curve(np.zeros(4))
+        assert (reduction == 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            coverage_curve(np.array([]))
+        with pytest.raises(ValueError):
+            coverage_curve(np.array([-1.0]))
+
+
+class TestBetaFit:
+    def test_uniform_has_low_beta(self):
+        f, r = coverage_curve(np.ones(64))
+        beta_uniform = fit_beta(f, r)
+        f2, r2 = coverage_curve(np.array([100.0] * 4 + [0.1] * 60))
+        beta_skewed = fit_beta(f2, r2)
+        assert beta_skewed > beta_uniform
+
+    def test_exact_exponential_recovered(self):
+        beta_true = 6.0
+        f = np.linspace(0, 1, 50)
+        r = 1.0 - np.exp(-beta_true * f)
+        assert fit_beta(f, r) == pytest.approx(beta_true, rel=1e-6)
+
+
+class TestSingleTechnique:
+    FIT = np.array([8.0, 4.0, 2.0, 1.0, 0.5, 0.25, 0.125, 0.125])
+
+    def test_trivial_target(self):
+        assert single_technique_overhead(self.FIT, RCC, 1.0) == 0.0
+
+    def test_unreachable_target(self):
+        assert single_technique_overhead(self.FIT, RCC, 100.0) is None
+
+    def test_overhead_monotone_in_target(self):
+        targets = [1.5, 2.0, 3.0, 5.0]
+        ohs = [single_technique_overhead(self.FIT, SEUT, t) for t in targets]
+        assert all(a <= b for a, b in zip(ohs, ohs[1:]))
+
+    def test_achieves_target(self):
+        target = 5.0
+        oh = single_technique_overhead(self.FIT, SEUT, target)
+        k = round(oh / SEUT.overhead * self.FIT.size)
+        order = np.argsort(self.FIT)[::-1]
+        protected = self.FIT[order][:k].sum()
+        residual = self.FIT.sum() - protected + protected / SEUT.fit_reduction
+        assert self.FIT.sum() / residual >= target - 1e-9
+
+    def test_stronger_technique_protects_fewer_latches(self):
+        oh_seut = single_technique_overhead(self.FIT, SEUT, 4.0)
+        oh_tmr = single_technique_overhead(self.FIT, TMR, 4.0)
+        k_seut = oh_seut / SEUT.overhead
+        k_tmr = oh_tmr / TMR.overhead
+        assert k_tmr <= k_seut
+
+
+class TestOptimizer:
+    FIT = np.array([8.0, 4.0, 2.0, 1.0, 0.5, 0.25, 0.125, 0.125])
+
+    def test_achieves_target(self):
+        plan = optimize_hardening(self.FIT, 37.0)
+        assert plan.achieved_reduction >= 37.0
+
+    def test_multi_no_worse_than_best_single(self):
+        for target in (2.0, 6.3, 20.0, 100.0):
+            plan = optimize_hardening(self.FIT, target)
+            singles = [
+                single_technique_overhead(self.FIT, t, target) for t in HARDENING_TECHNIQUES
+            ]
+            best_single = min(s for s in singles if s is not None)
+            assert plan.area_overhead <= best_single + 1e-9
+
+    def test_trivial_target_costs_nothing(self):
+        plan = optimize_hardening(self.FIT, 1.0)
+        assert plan.area_overhead == 0.0
+        assert all(a == "Baseline" for a in plan.assignment)
+
+    def test_assignment_length(self):
+        plan = optimize_hardening(self.FIT, 10.0)
+        assert len(plan.assignment) == self.FIT.size
+        assert set(plan.assignment) <= {"Baseline", "RCC", "SEUT", "TMR"}
+
+    def test_zero_fit_no_hardening_needed(self):
+        plan = optimize_hardening(np.zeros(4), 100.0)
+        assert plan.area_overhead == 0.0
+
+    @given(
+        fits=st.lists(
+            st.one_of(st.just(0.0), st.floats(1e-3, 100.0)), min_size=2, max_size=12
+        ),
+        target=st.floats(1.5, 50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_target_met_or_all_tmr(self, fits, target):
+        fit = np.array(fits)
+        plan = optimize_hardening(fit, target)
+        if fit.sum() == 0:
+            return
+        # Greedy either meets the target or has hardened everything to TMR.
+        assert plan.achieved_reduction >= target or all(a == "TMR" for a in plan.assignment)
+
+    @given(
+        fits=st.lists(st.floats(0.01, 100.0), min_size=2, max_size=10),
+        target=st.floats(1.5, 30.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_overhead_consistent_with_assignment(self, fits, target):
+        fit = np.array(fits)
+        plan = optimize_hardening(fit, target)
+        by_name = {t.name: t for t in HARDENING_TECHNIQUES}
+        expected = sum(by_name[a].overhead for a in plan.assignment if a != "Baseline")
+        assert plan.area_overhead == pytest.approx(expected / fit.size)

@@ -1,0 +1,97 @@
+"""im2col/col2im against naive reference implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.im2col import col2im, conv_out_size, im2col, patch_indices
+
+
+def naive_conv(x, w, stride, pad):
+    """Direct-loop convolution reference."""
+    n, c, h, wd = x.shape
+    f, _, kh, kw = w.shape
+    oh = conv_out_size(h, kh, stride, pad)
+    ow = conv_out_size(wd, kw, stride, pad)
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.zeros((n, f, oh, ow))
+    for b in range(n):
+        for fi in range(f):
+            for oy in range(oh):
+                for ox in range(ow):
+                    patch = xp[b, :, oy * stride : oy * stride + kh, ox * stride : ox * stride + kw]
+                    out[b, fi, oy, ox] = (patch * w[fi]).sum()
+    return out
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(32, 3, 1, 1) == 32
+        assert conv_out_size(227, 11, 4, 0) == 55
+        assert conv_out_size(7, 3, 2, 0) == 3
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    @pytest.mark.parametrize("stride,pad,kh", [(1, 0, 3), (1, 1, 3), (2, 0, 3), (2, 2, 5), (3, 1, 2)])
+    def test_matches_naive_conv(self, rng, stride, pad, kh):
+        x = rng.normal(0, 1, (2, 3, 9, 9))
+        w = rng.normal(0, 1, (4, 3, kh, kh))
+        cols = im2col(x, kh, kh, stride, pad)
+        oh = conv_out_size(9, kh, stride, pad)
+        y = (w.reshape(4, -1) @ cols).reshape(4, 2, oh * oh).transpose(1, 0, 2).reshape(2, 4, oh, oh)
+        assert np.allclose(y, naive_conv(x, w, stride, pad))
+
+    def test_shape(self, rng):
+        x = rng.normal(0, 1, (2, 3, 8, 8))
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (3 * 9, 2 * 8 * 8)
+
+
+class TestCol2Im:
+    @given(
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 2),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_adjoint_property(self, stride, pad, seed):
+        """<im2col(x), c> == <x, col2im(c)> — the defining adjoint identity."""
+        g = np.random.default_rng(seed)
+        x = g.normal(0, 1, (1, 2, 7, 7))
+        cols_shape = im2col(x, 3, 3, stride, pad).shape
+        c = g.normal(0, 1, cols_shape)
+        lhs = (im2col(x, 3, 3, stride, pad) * c).sum()
+        rhs = (x * col2im(c, x.shape, 3, 3, stride, pad)).sum()
+        assert np.isclose(lhs, rhs)
+
+    def test_counts_overlaps(self):
+        """col2im of ones counts how many windows cover each pixel."""
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((4, 9))  # 2x2 kernel, stride 1, no pad -> 3x3 outputs
+        back = col2im(cols, x_shape, 2, 2, 1, 0)
+        assert back[0, 0, 0, 0] == 1  # corner covered once
+        assert back[0, 0, 1, 1] == 4  # interior covered by 4 windows
+
+
+class TestPatchIndices:
+    def test_matches_im2col_column(self, rng):
+        x = rng.normal(0, 1, (3, 9, 9))
+        kh = kw = 3
+        stride, pad = 2, 1
+        cols = im2col(x[None], kh, kw, stride, pad)
+        ow = conv_out_size(9, kw, stride, pad)
+        for oy, ox in [(0, 0), (1, 2), (4, 4)]:
+            cc, yy, xx, valid = patch_indices((1, 3, 9, 9), (oy, ox), kh, kw, stride, pad)
+            taps = np.zeros(cc.shape[0])
+            taps[valid] = x[cc[valid], yy[valid], xx[valid]]
+            assert np.array_equal(taps, cols[:, oy * ow + ox])
+
+    def test_padding_marked_invalid(self):
+        cc, yy, xx, valid = patch_indices((1, 1, 4, 4), (0, 0), 3, 3, 1, 1)
+        assert not valid[0]  # top-left tap is in the padding
+        assert valid[4]  # centre tap is real

@@ -1,0 +1,212 @@
+"""Injection engines: chain replay semantics and fault spreading."""
+
+import numpy as np
+import pytest
+
+from repro.core.fault import BufferFault, DatapathFault
+from repro.core.injector import inject_buffer, inject_datapath, replay_chain
+from repro.dtypes import DOUBLE, FLOAT16, FXP_16B_RB10
+from repro.nn.layers.base import MacChain
+from tests.conftest import build_tiny_network
+
+
+def chain_of(weights, inputs, bias=0.0):
+    return MacChain(
+        weights=np.asarray(weights, dtype=np.float64),
+        inputs=np.asarray(inputs, dtype=np.float64),
+        bias=float(bias),
+    )
+
+
+class TestReplayChain:
+    def test_clean_matches_dot_product_in_double(self, rng):
+        w, a = rng.normal(0, 1, 20), rng.normal(0, 1, 20)
+        assert replay_chain(DOUBLE, chain_of(w, a, 0.5)) == pytest.approx(w @ a + 0.5)
+
+    def test_weight_operand_fault(self):
+        chain = chain_of([1.0, 2.0], [1.0, 1.0])
+        f = DatapathFault(0, (0,), 0, "weight_operand", 14)  # +16 in 16b_rb10
+        assert replay_chain(FXP_16B_RB10, chain, f) == pytest.approx(19.0)
+
+    def test_input_operand_fault(self):
+        chain = chain_of([2.0, 1.0], [1.0, 1.0])
+        f = DatapathFault(0, (0,), 0, "input_operand", 14)
+        # input 1.0 -> 17.0; product 34 saturates at 31.99..; +1
+        expected = FXP_16B_RB10.add(np.array([FXP_16B_RB10.max_value]), np.array([1.0]))[0]
+        assert replay_chain(FXP_16B_RB10, chain, f) == expected
+
+    def test_product_fault(self):
+        chain = chain_of([1.0, 1.0], [1.0, 1.0])
+        f = DatapathFault(0, (0,), 1, "product", 12)  # product 1 -> 5
+        assert replay_chain(FXP_16B_RB10, chain, f) == pytest.approx(6.0)
+
+    def test_psum_fault_corrupts_running_sum_before_add(self):
+        chain = chain_of([1.0, 1.0, 1.0], [1.0, 1.0, 1.0], bias=0.0)
+        # At step 2 the running sum is 2.0; flip bit 11 (2 units) -> 0.0
+        f = DatapathFault(0, (0,), 2, "psum", 11)
+        assert replay_chain(FXP_16B_RB10, chain, f) == pytest.approx(1.0)
+
+    def test_accumulator_fault_corrupts_after_add(self):
+        chain = chain_of([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        # After step 2's add the sum is 3.0; flip bit 10 (1 unit) -> 2.0
+        f = DatapathFault(0, (0,), 2, "accumulator", 10)
+        assert replay_chain(FXP_16B_RB10, chain, f) == pytest.approx(2.0)
+
+    def test_accumulator_fault_last_step_equals_output_flip(self, rng):
+        w, a = rng.normal(0, 0.2, 8), rng.normal(0, 0.2, 8)
+        chain = chain_of(w, a, 0.1)
+        clean = replay_chain(FLOAT16, chain)
+        f = DatapathFault(0, (0,), 7, "accumulator", 15)  # sign flip at last step
+        assert replay_chain(FLOAT16, chain, f) == pytest.approx(-clean)
+
+    def test_fault_on_zero_operand_is_masked(self):
+        chain = chain_of([0.5, 0.5], [0.0, 1.0])
+        clean = replay_chain(FXP_16B_RB10, chain)
+        f = DatapathFault(0, (0,), 0, "weight_operand", 13)
+        assert replay_chain(FXP_16B_RB10, chain, f) == clean  # 0 input masks it
+
+    def test_step_out_of_range(self):
+        chain = chain_of([1.0], [1.0])
+        with pytest.raises(ValueError):
+            replay_chain(FLOAT16, chain, DatapathFault(0, (0,), 5, "psum", 0))
+
+    def test_unknown_latch(self):
+        chain = chain_of([1.0], [1.0])
+        f = DatapathFault.__new__(DatapathFault)  # bypass validation
+        object.__setattr__(f, "layer_index", 0)
+        object.__setattr__(f, "out_index", (0,))
+        object.__setattr__(f, "step", 0)
+        object.__setattr__(f, "latch", "bogus")
+        object.__setattr__(f, "bit", 0)
+        with pytest.raises(ValueError):
+            replay_chain(FLOAT16, chain, f)
+
+    def test_saturating_chain_replay(self):
+        # A huge corrupted product saturates and later steps subtract
+        # from the rail — exact FxP accumulator behaviour.
+        chain = chain_of([1.0, 1.0], [20.0, -5.0])
+        f = DatapathFault(0, (0,), 0, "product", 14)  # 20 -> 4 (bit 14 = 16)
+        assert replay_chain(FXP_16B_RB10, chain, f) == pytest.approx(-1.0)
+
+
+class TestInjectDatapath:
+    def test_changes_exactly_one_chain_then_propagates(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        fault = DatapathFault(0, (1, 3, 3), 2, "accumulator", 14)
+        res = inject_datapath(tiny_network, FLOAT16, fault, golden, record=True)
+        assert not res.masked
+        patched = res.faulty_activations[0]
+        ref = golden.activations[1]
+        diff = patched != ref
+        assert diff.sum() == 1 and diff[1, 3, 3]
+
+    def test_masked_returns_golden_scores(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        # find an input tap that is zero (padding) for a masked result
+        chainless = None
+        layer = tiny_network.layers[0]
+        chain = layer.mac_operands(golden.activations[0], (0, 0, 0), FLOAT16)
+        zero_step = int(np.where(chain.inputs == 0)[0][0])
+        fault = DatapathFault(0, (0, 0, 0), zero_step, "weight_operand", 10)
+        res = inject_datapath(tiny_network, FLOAT16, fault, golden, record=True)
+        assert res.masked
+        assert np.array_equal(res.scores, golden.scores)
+        assert res.faulty_activations == []
+
+    def test_non_mac_layer_rejected(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        with pytest.raises(TypeError):
+            inject_datapath(tiny_network, FLOAT16, DatapathFault(1, (0, 0, 0), 0, "psum", 0), golden)
+
+    def test_deterministic(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        fault = DatapathFault(3, (2, 1, 1), 5, "psum", 13)
+        a = inject_datapath(tiny_network, FLOAT16, fault, golden)
+        b = inject_datapath(tiny_network, FLOAT16, fault, golden)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_values_recorded(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        fault = DatapathFault(0, (0, 2, 2), 1, "accumulator", 14)
+        res = inject_datapath(tiny_network, FLOAT16, fault, golden)
+        assert res.value_after != res.value_before
+
+
+class TestInjectBuffer:
+    def test_layer_weight_spreads_across_layer(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        fault = BufferFault("layer_weight", 0, (0, 0, 1, 1), 14)
+        res = inject_buffer(tiny_network, FLOAT16, fault, golden, record=True)
+        assert not res.masked
+        # All corrupted outputs are in the victim weight's output channel 0
+        diff = res.faulty_activations[0] != golden.activations[1]
+        assert diff[0].sum() > 1  # many output pixels affected (reuse!)
+        assert diff[1:].sum() == 0
+
+    def test_layer_weight_does_not_mutate_network(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        w_before = tiny_network.layers[0].weight.copy()
+        fault = BufferFault("layer_weight", 0, (0, 0, 0, 0), 14)
+        inject_buffer(tiny_network, FLOAT16, fault, golden)
+        assert np.array_equal(tiny_network.layers[0].weight, w_before)
+        again = tiny_network.forward(tiny_input, dtype=FLOAT16)
+        assert np.array_equal(again.scores, golden.scores)
+
+    def test_next_layer_corrupts_one_stored_act(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        li = tiny_network.mac_layer_indices()[1]
+        victim = (0, 1, 1)
+        fault = BufferFault("next_layer", li, victim, 14)
+        res = inject_buffer(tiny_network, FLOAT16, fault, golden, record=True)
+        if not res.masked:
+            diff = res.faulty_activations[0] != golden.activations[li]
+            assert diff.sum() == 1
+
+    def test_row_activation_affects_only_residency_row(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        # pick a nonzero input pixel of conv2 (layer index 3)
+        x = golden.activations[3]
+        nz = np.argwhere(x != 0)
+        c, y, xp = (int(v) for v in nz[0])
+        oy = min(y, tiny_network.layers[3].out_shape(x.shape)[1] - 1)
+        fault = BufferFault("row_activation", 3, (c, y, xp), 14, residency_row=oy)
+        res = inject_buffer(tiny_network, FLOAT16, fault, golden, record=True)
+        if not res.masked:
+            diff = res.faulty_activations[0] != golden.activations[4]
+            rows = {int(r) for r in np.argwhere(diff)[:, 1]}
+            assert rows == {oy}
+
+    def test_row_activation_nonreading_row_masked(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        x = golden.activations[3]
+        nz = np.argwhere(x != 0)
+        c, y, xp = (int(v) for v in nz[-1])
+        _, oh, _ = tiny_network.layers[3].out_shape(x.shape)
+        # pick an output row whose window cannot cover input row y
+        bad_rows = [
+            oy for oy in range(oh)
+            if not (oy - 1 <= y <= oy + 1)  # kernel 3, stride 1, pad 1
+        ]
+        if bad_rows:
+            fault = BufferFault("row_activation", 3, (c, y, xp), 14, residency_row=bad_rows[0])
+            res = inject_buffer(tiny_network, FLOAT16, fault, golden)
+            assert res.masked
+
+    def test_single_read_equals_datapath_psum(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        bf = BufferFault("single_read", 0, (1, 2, 2, 4), 13)
+        dp = DatapathFault(0, (1, 2, 2), 4, "psum", 13)
+        a = inject_buffer(tiny_network, FLOAT16, bf, golden)
+        b = inject_datapath(tiny_network, FLOAT16, dp, golden)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_unknown_scope(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        bad = BufferFault.__new__(BufferFault)
+        object.__setattr__(bad, "scope", "bogus")
+        object.__setattr__(bad, "layer_index", 0)
+        object.__setattr__(bad, "victim", (0,))
+        object.__setattr__(bad, "bit", 0)
+        object.__setattr__(bad, "residency_row", -1)
+        with pytest.raises(ValueError):
+            inject_buffer(tiny_network, FLOAT16, bad, golden)

@@ -1,0 +1,91 @@
+"""Row-stationary mapper: array shapes, set tiling, residency ordering."""
+
+import pytest
+
+from repro.accel import EYERISS_16NM, EYERISS_65NM
+from repro.accel.eyeriss import scale_config
+from repro.accel.mapping import ArrayShape, array_shape_for, map_conv_layer, map_network
+from repro.nn import Conv2D
+from repro.zoo import get_network
+
+
+class TestArrayShape:
+    def test_base_array(self):
+        shape = array_shape_for(EYERISS_65NM)
+        assert (shape.height, shape.width) == (12, 14)
+        assert shape.pes == 168
+
+    def test_16nm_projection(self):
+        shape = array_shape_for(EYERISS_16NM)
+        assert shape.pes == 1344
+        assert (shape.height, shape.width) == (48, 28)
+
+    def test_non_multiple_rejected(self):
+        odd = scale_config(EYERISS_65NM, 65, 0)
+        bad = type(odd)(
+            feature_nm=65, n_pes=100, data_width=16,
+            global_buffer=odd.global_buffer, filter_sram=odd.filter_sram,
+            img_reg=odd.img_reg, psum_reg=odd.psum_reg,
+        )
+        with pytest.raises(ValueError):
+            array_shape_for(bad)
+
+
+class TestMapConvLayer:
+    ARRAY = ArrayShape(12, 14)
+
+    def test_small_conv_fits_many_sets(self):
+        conv = Conv2D("c", 4, 8, 3, pad=1)
+        report = map_conv_layer(conv, (4, 14, 14), self.ARRAY)
+        assert report.pe_set == (3, 14)
+        assert report.sets_per_pass == 4  # floor(12/3) x floor(14/14)
+        assert report.passes == -(-4 * 8 // 4)
+
+    def test_strip_mining_when_output_taller_than_array(self):
+        conv = Conv2D("c", 1, 1, 3, pad=1)
+        report = map_conv_layer(conv, (1, 30, 30), self.ARRAY)
+        assert report.pe_set[1] == 14  # clipped to array width
+        # ceil(30/14) = 3 strips run as concurrent sets in one pass:
+        # 3 sets x (3 x 14) PEs = 126 of 168 PEs busy.
+        assert report.passes == 1
+        assert report.utilization == pytest.approx(126 / 168)
+
+    def test_filter_taller_than_array_rejected(self):
+        conv = Conv2D("c", 1, 1, 13)
+        with pytest.raises(ValueError):
+            map_conv_layer(conv, (1, 20, 20), self.ARRAY)
+
+    def test_utilization_bounded(self):
+        conv = Conv2D("c", 3, 16, 5, pad=2)
+        report = map_conv_layer(conv, (3, 14, 14), self.ARRAY)
+        assert 0.0 < report.utilization <= 1.0
+
+    def test_residency_ordering(self):
+        conv = Conv2D("c", 8, 16, 5, pad=2)
+        report = map_conv_layer(conv, (8, 14, 14), self.ARRAY)
+        # Table 8's mechanism: weights outlive img rows outlive psums.
+        assert (
+            report.weight_residency_cycles
+            >= report.img_residency_cycles
+            >= report.psum_residency_cycles
+        )
+        assert report.psum_residency_cycles == conv.kernel
+
+    def test_cycles_scale_with_work(self):
+        small = map_conv_layer(Conv2D("a", 4, 8, 3, pad=1), (4, 14, 14), self.ARRAY)
+        big = map_conv_layer(Conv2D("b", 16, 32, 3, pad=1), (16, 14, 14), self.ARRAY)
+        assert big.cycles > small.cycles
+
+
+class TestMapNetwork:
+    def test_alexnet_mapping(self):
+        reports = map_network(get_network("AlexNet"), EYERISS_16NM)
+        assert [r.layer for r in reports] == ["conv1", "conv2", "conv3", "conv4", "conv5"]
+        for r in reports:
+            assert r.passes >= 1
+            assert 0 < r.utilization <= 1.0
+            assert r.weight_residency_cycles == r.cycles
+
+    def test_fc_layers_excluded(self):
+        reports = map_network(get_network("ConvNet"), EYERISS_16NM)
+        assert [r.layer for r in reports] == ["conv1", "conv2", "conv3"]

@@ -1,0 +1,120 @@
+"""Network container: structure, execution, partial re-execution."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FLOAT16
+from repro.nn import Network
+from tests.conftest import build_tiny_network
+
+
+class TestStructure:
+    def test_blocks_assigned(self, tiny_network):
+        assert tiny_network.n_blocks == 3
+        assert tiny_network.block_kinds() == {1: "CONV", 2: "CONV", 3: "FC"}
+        # ReLU after conv1 belongs to block 1
+        assert tiny_network.layer_named("r1").block == 1
+        assert tiny_network.layer_named("sm").block == 3
+
+    def test_shapes_chain(self, tiny_network):
+        assert tiny_network.shapes[0] == (3, 8, 8)
+        assert tiny_network.shapes[-1] == (5,)
+
+    def test_mac_counts_weighting(self, tiny_network):
+        counts = tiny_network.mac_counts()
+        assert set(counts) == set(tiny_network.mac_layer_indices())
+        assert tiny_network.total_macs() == sum(counts.values())
+        assert all(v > 0 for v in counts.values())
+
+    def test_out_candidates(self, tiny_network):
+        assert tiny_network.out_candidates == 5
+
+    def test_layer_named_missing(self, tiny_network):
+        with pytest.raises(KeyError):
+            tiny_network.layer_named("nope")
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network("empty", [], (3, 8, 8))
+
+    def test_describe(self, tiny_network):
+        d = tiny_network.describe()
+        assert d["topology"] == "2 CONV + 1 FC"
+        assert d["output_candidates"] == 5
+
+    def test_param_count(self, tiny_network):
+        expected = 4 * 3 * 9 + 4 + 6 * 4 * 9 + 6 + 5 * 24 + 5
+        assert tiny_network.param_count() == expected
+
+
+class TestExecution:
+    def test_forward_records_activations(self, tiny_network, tiny_input):
+        res = tiny_network.forward(tiny_input, record=True)
+        assert len(res.activations) == len(tiny_network.layers) + 1
+        for act, shape in zip(res.activations, tiny_network.shapes):
+            assert act.shape == tuple(shape)
+
+    def test_forward_no_record(self, tiny_network, tiny_input):
+        res = tiny_network.forward(tiny_input, record=False)
+        assert res.activations == []
+        assert res.scores.shape == (5,)
+
+    def test_forward_wrong_shape_raises(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.forward(np.zeros((3, 4, 4)))
+
+    def test_softmax_scores_normalized(self, tiny_network, tiny_input):
+        res = tiny_network.forward(tiny_input)
+        assert np.isclose(res.scores.sum(), 1.0)
+
+    def test_typed_forward_quantizes_everything(self, tiny_network, tiny_input):
+        res = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        # Every pre-softmax activation must be representable in FLOAT16.
+        for act in res.activations[:-1]:
+            assert np.array_equal(act, FLOAT16.quantize(act))
+
+    def test_topk_ordering(self, tiny_network, tiny_input):
+        res = tiny_network.forward(tiny_input)
+        top = res.topk(3)
+        assert res.scores[top[0]] >= res.scores[top[1]] >= res.scores[top[2]]
+        assert res.top1() == top[0]
+
+    def test_forward_deterministic(self, tiny_network, tiny_input):
+        a = tiny_network.forward(tiny_input, dtype=FLOAT16)
+        b = tiny_network.forward(tiny_input, dtype=FLOAT16)
+        assert np.array_equal(a.scores, b.scores)
+
+
+class TestResume:
+    def test_resume_matches_full_run(self, tiny_network, tiny_input):
+        full = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        for idx in range(len(tiny_network.layers) + 1):
+            resumed = tiny_network.forward_from(idx, full.activations[idx], dtype=FLOAT16)
+            assert np.array_equal(resumed.scores, full.scores), f"layer {idx}"
+
+    def test_resume_shape_checked(self, tiny_network):
+        with pytest.raises(ValueError):
+            tiny_network.forward_from(0, np.zeros((1, 2, 3)))
+
+    def test_resume_index_checked(self, tiny_network, tiny_input):
+        with pytest.raises(IndexError):
+            tiny_network.forward_from(99, tiny_input)
+
+    def test_resume_records_segment(self, tiny_network, tiny_input):
+        full = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        seg = tiny_network.forward_from(3, full.activations[3], dtype=FLOAT16, record=True)
+        assert len(seg.activations) == len(tiny_network.layers) - 3 + 1
+
+
+class TestWeightCaches:
+    def test_prepare_then_mutate_requires_invalidation(self, tiny_input):
+        net = build_tiny_network()
+        net.prepare(FLOAT16)
+        before = net.forward(tiny_input, dtype=FLOAT16).scores
+        for i in net.mac_layer_indices():
+            net.layers[i].params()["weight"] *= 1.5
+        stale = net.forward(tiny_input, dtype=FLOAT16).scores
+        assert np.array_equal(stale, before)  # caches still serve old weights
+        net.invalidate_weight_caches()
+        fresh = net.forward(tiny_input, dtype=FLOAT16).scores
+        assert not np.array_equal(fresh, before)

@@ -1,0 +1,89 @@
+"""Occupancy model: exposures, live fractions, weighted sampling."""
+
+import pytest
+
+from repro.accel import EYERISS_16NM
+from repro.accel.occupancy import build_occupancy
+from repro.core.campaign import CampaignSpec, run_campaign
+from repro.core.fault import SCOPE_COMPONENT, sample_buffer_fault
+from repro.dtypes import FXP_16B_RB10
+from repro.utils.rng import child_rng
+from repro.zoo import get_network
+
+
+@pytest.fixture(scope="module")
+def occupancy():
+    return build_occupancy(get_network("AlexNet"), EYERISS_16NM)
+
+
+class TestModel:
+    def test_covers_all_mac_layers(self, occupancy):
+        net = get_network("AlexNet")
+        assert [l.layer_index for l in occupancy.layers] == net.mac_layer_indices()
+
+    def test_cycles_positive(self, occupancy):
+        assert all(l.cycles >= 1 for l in occupancy.layers)
+        assert occupancy.total_cycles == sum(l.cycles for l in occupancy.layers)
+
+    def test_live_fractions_bounded(self, occupancy):
+        for comp in SCOPE_COMPONENT.values():
+            assert 0.0 <= occupancy.live_fraction(comp) <= 1.0
+
+    def test_layer_weights_normalized(self, occupancy):
+        for comp in SCOPE_COMPONENT.values():
+            weights = occupancy.layer_weights(comp)
+            if weights:
+                assert sum(weights.values()) == pytest.approx(1.0)
+                assert all(w > 0 for w in weights.values())
+
+    def test_fc_layers_have_no_img_reg_exposure(self, occupancy):
+        net = get_network("AlexNet")
+        fc_indices = {
+            i for i in net.mac_layer_indices() if net.layers[i].kind == "fc"
+        }
+        for l in occupancy.layers:
+            if l.layer_index in fc_indices:
+                assert l.exposure["Img REG"] == 0.0
+
+    def test_derated_sdc(self, occupancy):
+        raw = 0.5
+        derated = occupancy.derated_sdc("Filter SRAM", raw)
+        assert derated == pytest.approx(raw * occupancy.live_fraction("Filter SRAM"))
+        with pytest.raises(ValueError):
+            occupancy.derated_sdc("Filter SRAM", 1.5)
+
+    def test_unknown_component(self, occupancy):
+        with pytest.raises(KeyError):
+            occupancy.live_fraction("L3 cache")
+
+
+class TestWeightedSampling:
+    def test_sampling_tracks_exposure(self, occupancy):
+        net = get_network("AlexNet")
+        rng = child_rng(0, 0)
+        counts: dict[int, int] = {}
+        for _ in range(400):
+            f = sample_buffer_fault(
+                net, "layer_weight", FXP_16B_RB10, rng, occupancy=occupancy
+            )
+            counts[f.layer_index] = counts.get(f.layer_index, 0) + 1
+        weights = occupancy.layer_weights("Filter SRAM")
+        heaviest = max(weights, key=weights.get)
+        lightest = min(weights, key=weights.get)
+        assert counts.get(heaviest, 0) > counts.get(lightest, 0)
+
+    def test_campaign_flag_runs_and_is_deterministic(self):
+        spec = CampaignSpec(
+            network="AlexNet", dtype="16b_rb10", target="next_layer",
+            n_trials=30, seed=12, occupancy_weighted=True,
+        )
+        a = run_campaign(spec)
+        b = run_campaign(spec)
+        assert [r.block for r in a.records] == [r.block for r in b.records]
+
+    def test_weighted_vs_static_sampling_differ(self):
+        base = dict(network="AlexNet", dtype="16b_rb10", target="layer_weight",
+                    n_trials=120, seed=13)
+        static = run_campaign(CampaignSpec(**base))
+        weighted = run_campaign(CampaignSpec(**base, occupancy_weighted=True))
+        assert [r.block for r in static.records] != [r.block for r in weighted.records]

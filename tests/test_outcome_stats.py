@@ -1,0 +1,131 @@
+"""SDC classification (section 4.6) and CI statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
+from repro.core.stats import RateEstimate, combine_counts, wilson_interval
+from repro.nn.network import InferenceResult
+
+
+def result_with(scores):
+    return InferenceResult(scores=np.asarray(scores, dtype=np.float64))
+
+
+class TestClassify:
+    def test_identical_scores_masked(self):
+        g = result_with([0.1, 0.7, 0.2])
+        o = classify_outcome(g, g.scores.copy(), has_confidence=True)
+        assert o.masked and not o.sdc1 and not o.sdc5
+
+    def test_sdc1_top1_changed(self):
+        g = result_with([0.1, 0.7, 0.2])
+        o = classify_outcome(g, np.array([0.8, 0.1, 0.1]), has_confidence=True)
+        assert o.sdc1 and not o.masked
+
+    def test_sdc5_requires_leaving_top5(self):
+        g = result_with([0.30, 0.20, 0.15, 0.12, 0.11, 0.07, 0.05])
+        # new top1 = index 4: still within golden top-5 -> SDC-1 but not SDC-5
+        faulty = np.array([0.1, 0.1, 0.1, 0.1, 0.4, 0.1, 0.1])
+        o = classify_outcome(g, faulty, has_confidence=True)
+        assert o.sdc1 and not o.sdc5
+        # new top1 = index 6: outside golden top-5 -> SDC-5
+        faulty2 = np.array([0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.4])
+        o2 = classify_outcome(g, faulty2, has_confidence=True)
+        assert o2.sdc5
+
+    def test_sdc10_sdc20_thresholds(self):
+        g = result_with([0.5, 0.5])
+        o = classify_outcome(g, np.array([0.57, 0.43]), has_confidence=True)
+        assert o.sdc10 and not o.sdc20  # 14% relative change
+        o2 = classify_outcome(g, np.array([0.52, 0.48]), has_confidence=True)
+        assert not o2.sdc10
+        o3 = classify_outcome(g, np.array([0.65, 0.35]), has_confidence=True)
+        assert o3.sdc20
+
+    def test_confidence_classes_none_without_softmax(self):
+        g = result_with([3.0, 1.0])
+        o = classify_outcome(g, np.array([1.0, 3.0]), has_confidence=False)
+        assert o.sdc10 is None and o.sdc20 is None
+        assert o.sdc1
+
+    def test_nan_scores_are_sdc(self):
+        g = result_with([0.6, 0.4])
+        o = classify_outcome(g, np.array([np.nan, np.nan]), has_confidence=True)
+        assert o.sdc1 and o.sdc5 and o.sdc10 and o.sdc20
+
+    def test_partial_nan_poisons_ranking(self):
+        # np.argmax treats NaN as the maximum: a NaN score hijacks the
+        # top-1 slot, exactly like a naive max-scan over IEEE floats.
+        g = result_with([0.6, 0.3, 0.1])
+        o = classify_outcome(g, np.array([0.7, np.nan, 0.1]), has_confidence=True)
+        assert o.sdc1
+
+    def test_masked_flag_short_circuits(self):
+        g = result_with([0.6, 0.4])
+        o = classify_outcome(g, np.array([0.4, 0.6]), has_confidence=True, masked=True)
+        assert o.masked and not o.sdc1
+
+    def test_flag_lookup(self):
+        g = result_with([0.6, 0.4])
+        o = classify_outcome(g, np.array([0.4, 0.6]), has_confidence=True)
+        assert o.flag("sdc1") is True
+        with pytest.raises(KeyError):
+            o.flag("sdc42")
+
+    def test_benign_property(self):
+        g = result_with([0.6, 0.4])
+        o = classify_outcome(g, np.array([0.58, 0.42]), has_confidence=True)
+        assert o.benign and not o.sdc1
+
+    def test_sdc_classes_constant(self):
+        assert SDC_CLASSES == ("sdc1", "sdc5", "sdc10", "sdc20")
+
+
+class TestRateEstimate:
+    def test_point_estimate(self):
+        assert RateEstimate(3, 10).p == 0.3
+        assert RateEstimate(0, 0).p == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            RateEstimate(5, 3)
+        with pytest.raises(ValueError):
+            RateEstimate(-1, 3)
+
+    def test_ci_shrinks_with_n(self):
+        small = RateEstimate(5, 10)
+        big = RateEstimate(500, 1000)
+        assert big.ci95_halfwidth < small.ci95_halfwidth
+
+    def test_ci_clipped_to_unit_interval(self):
+        lo, hi = RateEstimate(1, 10).ci95
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_zero_trials(self):
+        r = RateEstimate(0, 0)
+        assert r.ci95_halfwidth == 0.0
+
+    def test_str_format(self):
+        assert "n=100" in str(RateEstimate(7, 100))
+
+    def test_combine(self):
+        pooled = combine_counts([RateEstimate(1, 10), RateEstimate(3, 30)])
+        assert pooled.successes == 4 and pooled.n == 40
+
+    @given(k=st.integers(0, 50), extra=st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_wilson_contains_point_estimate(self, k, extra):
+        n = k + extra
+        lo, hi = wilson_interval(k, n)
+        if n:
+            assert lo <= k / n <= hi
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_wilson_nonzero_width_at_extremes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert hi > 0.0  # unlike Wald, Wilson never collapses at p=0
+        lo1, hi1 = wilson_interval(100, 100)
+        assert lo1 < 1.0

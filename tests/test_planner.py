@@ -1,0 +1,108 @@
+"""Protection planner: cost model and budget solving."""
+
+import numpy as np
+import pytest
+
+from repro.accel import EYERISS_16NM
+from repro.core.planner import (
+    PlannerInputs,
+    plan_protection,
+    sec_ded_overhead,
+)
+
+
+def make_inputs(dp_sdc=0.02, buf_sdc=0.05, recall=0.8):
+    per_bit = np.zeros(16)
+    per_bit[13:] = [0.05, 0.1, 0.02]
+    return PlannerInputs(
+        config=EYERISS_16NM,
+        datapath_sdc=dp_sdc,
+        buffer_sdc={
+            "Global Buffer": buf_sdc,
+            "Filter SRAM": buf_sdc,
+            "Img REG": 0.0,
+            "PSum REG": 0.0,
+        },
+        sed_recall=recall,
+        per_bit_fit=per_bit,
+        act_elements_per_inference=500_000,
+        macs_per_inference=700_000_000,
+    )
+
+
+class TestSecDed:
+    def test_known_overheads(self):
+        # 16-bit word: 5 hamming bits + 1 parity = 6/16
+        assert sec_ded_overhead(16) == pytest.approx(6 / 16)
+        # 64-bit word: 7 hamming bits + 1 parity = 8/64
+        assert sec_ded_overhead(64) == pytest.approx(8 / 64)
+
+    def test_overhead_decreases_with_word_size(self):
+        assert sec_ded_overhead(64) < sec_ded_overhead(32) < sec_ded_overhead(16)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sec_ded_overhead(0)
+
+
+class TestPlanner:
+    def test_enumerates_all_combinations(self):
+        plans = plan_protection(make_inputs(), fit_budget=1e6)
+        assert len(plans) == 2 * 4 * 4  # sed x slh x ecc
+
+    def test_unprotected_has_zero_cost(self):
+        plans = plan_protection(make_inputs(), fit_budget=1e6)
+        # With an unlimited budget the cheapest compliant plan is no
+        # protection at all.
+        best = plans[0]
+        assert not best.use_sed and best.slh_target == 1.0 and not best.ecc_components
+        assert best.area_overhead == 0.0 and best.runtime_overhead == 0.0
+
+    def test_tight_budget_requires_protection(self):
+        plans = plan_protection(make_inputs(), fit_budget=0.1)
+        best = plans[0]
+        assert best.total_fit <= 0.1
+        assert best.ecc_components  # buffer FIT dominates: ECC is mandatory
+
+    def test_protection_reduces_fit_monotonically(self):
+        inputs = make_inputs()
+        plans = {
+            (p.use_sed, p.slh_target, p.ecc_components): p.total_fit
+            for p in plan_protection(inputs, fit_budget=1e6)
+        }
+        none = plans[(False, 1.0, ())]
+        sed = plans[(True, 1.0, ())]
+        full = plans[(True, 100.0, tuple(s.name for s in EYERISS_16NM.buffers()))]
+        assert sed < none
+        assert full < sed
+
+    def test_impossible_budget_returns_best_effort(self):
+        plans = plan_protection(make_inputs(), fit_budget=1e-12)
+        # Nothing complies; ranking falls back to lowest FIT first.
+        assert plans[0].total_fit <= plans[-1].total_fit
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            plan_protection(make_inputs(), fit_budget=0.0)
+
+    def test_describe(self):
+        plans = plan_protection(make_inputs(), fit_budget=0.1)
+        text = plans[0].describe()
+        assert "FIT" in text and "area" in text
+
+    def test_sed_costs_runtime_not_area(self):
+        inputs = make_inputs()
+        plans = plan_protection(inputs, fit_budget=1e6)
+        sed_only = next(
+            p for p in plans if p.use_sed and p.slh_target == 1.0 and not p.ecc_components
+        )
+        assert sed_only.area_overhead == 0.0
+        assert sed_only.runtime_overhead > 0.0
+
+    def test_runtime_weight_steers_choice(self):
+        # With SED's runtime made prohibitively expensive and ECC cheap,
+        # the best compliant plan should avoid SED if an ECC-only stack
+        # complies.
+        inputs = make_inputs(dp_sdc=0.0)
+        with_sed = plan_protection(inputs, fit_budget=0.2, runtime_weight=1e6)[0]
+        assert not with_sed.use_sed

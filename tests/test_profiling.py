@@ -1,0 +1,93 @@
+"""Activation-range profiling (Table 4 machinery / SED learning phase)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FLOAT16
+from repro.nn.profiling import BlockRange, RangeProfile, profile_ranges
+from tests.conftest import build_tiny_network
+
+
+class TestBlockRange:
+    def test_cushion_expands_both_sides(self):
+        r = BlockRange(1, -10.0, 20.0)
+        c = r.with_cushion(0.10)
+        assert c.lo == pytest.approx(-11.0)
+        assert c.hi == pytest.approx(22.0)
+
+    def test_cushion_on_positive_lo(self):
+        # A positive lower bound must move DOWN (widen), not up.
+        r = BlockRange(1, 5.0, 20.0)
+        c = r.with_cushion(0.10)
+        assert c.lo < 5.0
+        assert c.hi > 20.0
+
+    def test_contains(self):
+        r = BlockRange(1, -1.0, 1.0)
+        v = np.array([-1.0, 0.5, 1.0, 1.5, np.nan, np.inf])
+        assert r.contains(v).tolist() == [True, True, True, False, False, False]
+
+
+class TestRangeProfile:
+    def test_merge_takes_union(self):
+        a = RangeProfile("n", {1: BlockRange(1, -1, 1)})
+        b = RangeProfile("n", {1: BlockRange(1, -2, 0.5), 2: BlockRange(2, 0, 1)})
+        m = a.merge(b)
+        assert m.ranges[1].lo == -2 and m.ranges[1].hi == 1
+        assert 2 in m.ranges
+
+    def test_merge_different_networks_rejected(self):
+        a = RangeProfile("a", {})
+        with pytest.raises(ValueError):
+            a.merge(RangeProfile("b", {}))
+
+    def test_as_rows_sorted(self):
+        p = RangeProfile("n", {2: BlockRange(2, 0, 1), 1: BlockRange(1, -1, 0)})
+        assert [r[0] for r in p.as_rows()] == [1, 2]
+
+
+class TestProfileRanges:
+    def test_one_range_per_block(self, rng):
+        net = build_tiny_network()
+        inputs = rng.normal(0, 1, (3, 3, 8, 8))
+        profile = profile_ranges(net, inputs)
+        assert set(profile.ranges) == {1, 2, 3}
+
+    def test_all_scope_sees_negative_preact(self, rng):
+        # ReLU-terminated blocks still show negative minima under
+        # scope="all" (the raw MAC output), matching Table 4.
+        net = build_tiny_network()
+        inputs = rng.normal(0, 1, (3, 3, 8, 8))
+        all_scope = profile_ranges(net, inputs, scope="all")
+        out_scope = profile_ranges(net, inputs, scope="output")
+        assert all_scope.ranges[1].lo < 0
+        assert out_scope.ranges[1].lo >= 0  # post-ReLU/pool block output
+        assert all_scope.ranges[1].hi >= out_scope.ranges[1].hi
+
+    def test_invalid_scope_rejected(self, rng):
+        net = build_tiny_network()
+        with pytest.raises(ValueError):
+            profile_ranges(net, rng.normal(0, 1, (1, 3, 8, 8)), scope="bogus")
+
+    def test_softmax_excluded(self, rng):
+        # Block 3's range must reflect logits, not softmax probabilities.
+        net = build_tiny_network()
+        inputs = rng.normal(0, 1, (2, 3, 8, 8))
+        profile = profile_ranges(net, inputs, scope="output")
+        assert profile.ranges[3].hi > 1.0 or profile.ranges[3].lo < 0.0
+
+    def test_typed_profiling_quantizes(self, rng):
+        net = build_tiny_network()
+        inputs = rng.normal(0, 1, (2, 3, 8, 8))
+        profile = profile_ranges(net, inputs, dtype=FLOAT16)
+        for r in profile.ranges.values():
+            assert r.lo == FLOAT16.quantize(np.array([r.lo]))[0]
+
+    def test_golden_activations_within_profile(self, rng):
+        net = build_tiny_network()
+        inputs = rng.normal(0, 1, (4, 3, 8, 8))
+        profile = profile_ranges(net, inputs, scope="output")
+        detectorish = {b: r.with_cushion(0.0) for b, r in profile.ranges.items()}
+        res = net.forward(inputs[0], record=True)
+        # The block-3 output (logits) of a profiled input is inside bounds.
+        assert detectorish[3].contains(res.activations[-2]).all()

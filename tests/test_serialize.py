@@ -1,0 +1,69 @@
+"""Serialization: JSON sanitization, campaign summaries, artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignSpec, run_campaign
+from repro.core.serialize import campaign_summary, load_json, save_json, to_jsonable
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+class TestToJsonable:
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float32(0.5)) == 0.5
+
+    def test_nonfinite_floats(self):
+        assert to_jsonable(float("nan")) == "nan"
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(float("-inf")) == "-inf"
+
+    def test_arrays_and_tuples(self):
+        out = to_jsonable({"a": np.arange(3), "b": (1, 2)})
+        assert out == {"a": [0, 1, 2], "b": [1, 2]}
+
+    def test_tuple_keys_flattened(self):
+        out = to_jsonable({("AlexNet", "FLOAT16"): 1.0})
+        assert out == {"AlexNet|FLOAT16": 1.0}
+
+    def test_dataclasses(self):
+        cfg = ExperimentConfig(trials=10)
+        out = to_jsonable(cfg)
+        assert out["trials"] == 10
+
+    def test_roundtrips_through_json(self):
+        obj = {"x": np.float64(1.5), "y": [np.int32(2), float("nan")]}
+        json.dumps(to_jsonable(obj))  # must not raise
+
+
+class TestCampaignSummary:
+    def test_summary_fields(self):
+        res = run_campaign(
+            CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=30, seed=3,
+                         with_detection=True)
+        )
+        summary = campaign_summary(res)
+        assert summary["n_trials"] == 30
+        assert set(summary["sdc"]) == {"sdc1", "sdc5", "sdc10", "sdc20"}
+        assert "detection" in summary
+        json.dumps(summary)  # JSON-safe
+
+    def test_no_detection_omitted(self):
+        res = run_campaign(CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=10, seed=3))
+        assert "detection" not in campaign_summary(res)
+
+
+class TestArtifacts:
+    def test_save_and_load(self, tmp_path):
+        path = save_json({"k": np.float64(2.0)}, tmp_path / "sub" / "x.json")
+        assert load_json(path) == {"k": 2.0}
+
+    def test_runner_writes_artifacts(self, tmp_path):
+        cfg = ExperimentConfig(trials=10)
+        run_experiment("table2", cfg, out_dir=str(tmp_path))
+        data = load_json(tmp_path / "table2.json")
+        assert data["networks"][0]["network"] == "ConvNet"
+        assert (tmp_path / "table2.txt").read_text().startswith("Table 2")

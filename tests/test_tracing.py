@@ -1,0 +1,96 @@
+"""Propagation tracing (Figure 7 / Table 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fault import DatapathFault
+from repro.core.injector import InjectionResult, inject_datapath
+from repro.core.tracing import (
+    bitwise_mismatch_by_block,
+    block_output_layers,
+    euclidean_by_block,
+    relu_trace_layers,
+)
+from repro.dtypes import FLOAT16
+from tests.conftest import build_tiny_network
+
+
+@pytest.fixture
+def traced(tiny_network, tiny_input):
+    golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+    conv_out = golden.activations[1]
+    victim = tuple(int(v) for v in np.argwhere((conv_out > 0.25) & (conv_out < 2.0))[0])
+    last = tiny_network.layers[0].chain_length((3, 8, 8)) - 1
+    fault = DatapathFault(0, victim, last, "accumulator", 14)  # -> huge value
+    injection = inject_datapath(tiny_network, FLOAT16, fault, golden, record=True)
+    assert not injection.masked
+    return tiny_network, golden, injection
+
+
+class TestTracePoints:
+    def test_block_output_layers(self, tiny_network):
+        assert block_output_layers(tiny_network) == {1: 2, 2: 6, 3: 7}
+
+    def test_relu_trace_layers(self, tiny_network):
+        # sample points: relu1 (idx 1), relu2 (idx 4), fc (idx 7 — no relu)
+        assert relu_trace_layers(tiny_network) == {1: 1, 2: 4, 3: 7}
+
+
+class TestEuclidean:
+    def test_distances_nonnegative_and_finite(self, traced):
+        net, golden, injection = traced
+        d = euclidean_by_block(net, golden, injection)
+        assert set(d) == {1, 2, 3}
+        assert all(np.isfinite(v) and v >= 0 for v in d.values())
+
+    def test_fault_visible_at_first_block(self, traced):
+        net, golden, injection = traced
+        d = euclidean_by_block(net, golden, injection, points=relu_trace_layers(net))
+        assert d[1] > 0
+
+    def test_upstream_blocks_zero(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        fc_idx = tiny_network.mac_layer_indices()[-1]
+        fault = DatapathFault(fc_idx, (1,), 2, "accumulator", 14)
+        injection = inject_datapath(tiny_network, FLOAT16, fault, golden, record=True)
+        if not injection.masked:
+            d = euclidean_by_block(tiny_network, golden, injection)
+            assert d[1] == 0.0 and d[2] == 0.0
+
+    def test_masked_injection_all_zero(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        fake = InjectionResult(
+            scores=golden.scores, masked=True, value_before=0, value_after=0, resume_index=1
+        )
+        d = euclidean_by_block(tiny_network, golden, fake)
+        assert all(v == 0.0 for v in d.values())
+
+    def test_nonfinite_values_give_large_finite_distance(self, tiny_network, tiny_input):
+        golden = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        act = golden.activations[1].copy()
+        act[0, 0, 0] = np.inf
+        res = tiny_network.forward_from(1, act, dtype=FLOAT16, record=True)
+        fake = InjectionResult(
+            scores=res.scores,
+            masked=False,
+            value_before=0,
+            value_after=np.inf,
+            resume_index=1,
+            faulty_activations=[act] + res.activations[1:],
+        )
+        d = euclidean_by_block(tiny_network, golden, fake, points=relu_trace_layers(tiny_network))
+        assert np.isfinite(d[1]) and d[1] > 0
+
+
+class TestBitwiseMismatch:
+    def test_mismatch_fractions_in_unit_interval(self, traced):
+        net, golden, injection = traced
+        m = bitwise_mismatch_by_block(net, golden, injection)
+        assert all(0.0 <= v <= 1.0 for v in m.values())
+        assert m[1] > 0  # the corrupted element itself mismatches
+
+    def test_pool_masking_reduces_spread(self, traced):
+        net, golden, injection = traced
+        m = bitwise_mismatch_by_block(net, golden, injection)
+        # block 1 output (after pooling) has at most all elements wrong
+        assert m[1] <= 1.0

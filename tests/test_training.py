@@ -1,0 +1,135 @@
+"""Training engine: loss/gradient correctness and actual learning."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, Network, ReLU, Softmax
+from repro.nn.training import SGDTrainer, accuracy, softmax_cross_entropy
+
+
+class TestLoss:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 3, 5, 9])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(np.log(10))
+        assert grad.shape == (4, 10)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.normal(0, 1, (3, 5))
+        labels = np.array([1, 4, 0])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        for idx in np.ndindex(*logits.shape):
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            num[idx] = (
+                softmax_cross_entropy(lp, labels)[0] - softmax_cross_entropy(lm, labels)[0]
+            ) / (2 * eps)
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(0, 2, (6, 8))
+        labels = rng.integers(0, 8, 6)
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0]])
+        assert accuracy(logits, np.array([1, 0])) == 1.0
+        assert accuracy(logits, np.array([0, 0])) == 0.5
+
+    def test_numerical_stability_large_logits(self):
+        logits = np.array([[1000.0, 0.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss) and np.isfinite(grad).all()
+
+
+def tiny_trainable(seed=0):
+    net = Network(
+        "t",
+        [
+            Conv2D("c1", 1, 4, 3, pad=1),
+            ReLU("r1"),
+            MaxPool2D("p1", 2),
+            Flatten("fl"),
+            Dense("fc", 4 * 3 * 3, 3),
+            Softmax("sm"),
+        ],
+        input_shape=(1, 6, 6),
+    )
+    g = np.random.default_rng(seed)
+    for i in net.mac_layer_indices():
+        w = net.layers[i].params()["weight"]
+        w[:] = g.normal(0, 0.5, w.shape)
+    return net
+
+
+def toy_task(n, rng):
+    """3-class task: which horizontal band holds the bright blob."""
+    x = rng.normal(0, 0.3, (n, 1, 6, 6))
+    labels = rng.integers(0, 3, n)
+    for i, lab in enumerate(labels):
+        x[i, 0, 2 * lab : 2 * lab + 2, :] += 2.0
+    return x, labels
+
+
+class TestSGDTrainer:
+    def test_loss_decreases(self, rng):
+        net = tiny_trainable()
+        x, y = toy_task(120, rng)
+        trainer = SGDTrainer(net, lr=0.05, momentum=0.9, weight_decay=0.0)
+        report = trainer.fit(x, y, epochs=5, batch_size=16, rng=np.random.default_rng(0))
+        assert report.losses[-1] < report.losses[0]
+        assert report.train_acc[-1] > 0.8
+
+    def test_learns_to_classify(self, rng):
+        net = tiny_trainable()
+        x, y = toy_task(150, rng)
+        SGDTrainer(net, lr=0.05).fit(x, y, epochs=6, batch_size=16, rng=np.random.default_rng(0))
+        xt, yt = toy_task(60, np.random.default_rng(7))
+        correct = sum(net.forward(xt[i], record=False).top1() == yt[i] for i in range(60))
+        assert correct / 60 > 0.8
+
+    def test_softmax_excluded_from_trainable_stack(self):
+        net = tiny_trainable()
+        trainer = SGDTrainer(net)
+        assert trainer._trainable[-1].kind != "softmax"
+
+    def test_logits_match_forward(self, rng):
+        net = tiny_trainable()
+        trainer = SGDTrainer(net)
+        x = rng.normal(0, 1, (2, 1, 6, 6))
+        logits = trainer.logits(x)
+        res = net.forward(x[0], record=True)
+        assert np.allclose(logits[0], res.activations[-2])
+
+    def test_lr_decay_applied(self, rng):
+        net = tiny_trainable()
+        trainer = SGDTrainer(net, lr=0.1)
+        x, y = toy_task(32, rng)
+        trainer.fit(x, y, epochs=3, batch_size=16, rng=np.random.default_rng(0), lr_decay=0.5)
+        assert trainer.lr == pytest.approx(0.1 * 0.5**3)
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        net = tiny_trainable()
+        x = np.zeros((16, 1, 6, 6))
+        y = np.zeros(16, dtype=np.int64)
+        w0 = np.abs(net.layers[0].weight).mean()
+        trainer = SGDTrainer(net, lr=0.01, momentum=0.0, weight_decay=0.5)
+        trainer.fit(x, y, epochs=3, batch_size=16, rng=np.random.default_rng(0))
+        assert np.abs(net.layers[0].weight).mean() < w0
+
+    def test_invalidates_quantized_caches(self, rng):
+        from repro.dtypes import FLOAT16
+
+        net = tiny_trainable()
+        net.prepare(FLOAT16)
+        x, y = toy_task(32, rng)
+        xin = rng.normal(0, 1, (1, 6, 6))
+        before = net.forward(xin, dtype=FLOAT16).scores
+        SGDTrainer(net, lr=0.05).fit(x, y, epochs=1, batch_size=16, rng=np.random.default_rng(0))
+        after = net.forward(xin, dtype=FLOAT16).scores
+        assert not np.array_equal(before, after)

@@ -1,0 +1,76 @@
+"""VGG-16 extension network and the depth-study experiment."""
+
+import numpy as np
+import pytest
+
+from repro.nn.profiling import profile_ranges
+from repro.zoo import eval_inputs, get_network
+from repro.zoo.vgg import build_vgg16, vgg_targets
+
+
+class TestVggTopology:
+    def test_vgg16_structure(self):
+        net = build_vgg16()
+        assert net.n_blocks == 16
+        kinds = list(net.block_kinds().values())
+        assert kinds == ["CONV"] * 13 + ["FC"] * 3
+        assert net.out_candidates == 1000
+        assert sum(1 for l in net.layers if l.kind == "pool") == 5
+        assert not any(l.kind == "lrn" for l in net.layers)
+
+    def test_all_convs_are_3x3_same(self):
+        net = build_vgg16()
+        for i in net.mac_layer_indices():
+            layer = net.layers[i]
+            if layer.kind == "conv":
+                assert layer.kernel == 3 and layer.pad == 1 and layer.stride == 1
+
+    def test_full_scale_geometry(self):
+        net = build_vgg16("full")
+        assert net.input_shape == (3, 224, 224)
+        assert net.layers[0].out_channels == 64
+        # 224 / 2^5 = 7 spatial extent into fc14
+        fc14 = net.layer_named("fc14")
+        assert fc14.in_features == 512 * 7 * 7
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            build_vgg16("tiny")
+
+    def test_targets_profile(self):
+        targets = vgg_targets(16)
+        assert len(targets) == 16
+        assert targets[0] == pytest.approx(700.0)
+        assert all(a > b for a, b in zip(targets, targets[1:]))
+        with pytest.raises(ValueError):
+            vgg_targets(1)
+
+
+class TestVggRegistry:
+    def test_calibrated_to_decay_profile(self):
+        net = get_network("VGG16")
+        profile = profile_ranges(net, eval_inputs("VGG16", 2), scope="all")
+        targets = vgg_targets(16)
+        for block, want in enumerate(targets, start=1):
+            got = max(abs(profile.ranges[block].lo), abs(profile.ranges[block].hi))
+            assert 0.3 * want < got < 3.0 * want, (block, got, want)
+
+    def test_eval_inputs_shape(self):
+        x = eval_inputs("VGG16", 1)
+        assert x.shape[1:] == get_network("VGG16").input_shape
+
+
+class TestDepthExperiment:
+    def test_structure(self):
+        from repro.experiments import ext_depth
+        from repro.experiments.common import ExperimentConfig
+
+        result = ext_depth.run(ExperimentConfig(trials=25, seed=3))
+        nets = result["networks"]
+        assert list(nets) == ["ConvNet", "AlexNet", "NiN", "VGG16"]
+        depths = [d["depth"] for d in nets.values()]
+        assert depths == [5, 8, 12, 16]
+        for d in nets.values():
+            assert 0.0 <= d["masked"] <= 1.0
+            assert d["range_headroom"] > 1.0
+        assert "depth alone" in ext_depth.render(result)
