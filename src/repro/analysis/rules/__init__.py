@@ -1,0 +1,11 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.analysis.rules import (
+    api_hygiene,
+    atomicity,
+    determinism,
+    dtype_safety,
+    registry_sync,
+)
+
+__all__ = ["api_hygiene", "atomicity", "determinism", "dtype_safety", "registry_sync"]

@@ -1,0 +1,147 @@
+"""RP5xx — public API hygiene.
+
+Every public module declares an accurate ``__all__``: it is the contract
+the docs, the experiment runner and downstream users rely on, and a
+stale entry (or an unexported public function) is how half-migrated
+refactors linger unnoticed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["HasDunderAll", "DunderAllAccurate", "PublicDefExported"]
+
+#: Module basenames exempt from the __all__ requirement.
+_EXEMPT = frozenset({"__main__.py", "conftest.py", "setup.py"})
+
+
+def _literal_all(tree: ast.Module) -> tuple[ast.AST | None, list[str] | None]:
+    """The module's ``__all__`` node and names (None when absent/dynamic)."""
+    for node in tree.body:
+        targets = node.targets if isinstance(node, ast.Assign) else []
+        if any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                isinstance(el, ast.Constant) and isinstance(el.value, str)
+                for el in node.value.elts
+            ):
+                return node, [el.value for el in node.value.elts]
+            return node, None
+    return None, None
+
+
+def _toplevel_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module top level; True when a star-import occurs.
+
+    Descends into top-level ``if``/``try`` blocks (conditional imports,
+    TYPE_CHECKING guards) but not into function or class bodies.
+    """
+    bound: set[str] = set()
+    has_star = False
+
+    def visit(body: list[ast.stmt]) -> None:
+        nonlocal has_star
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(tree.body)
+    return bound, has_star
+
+
+@register
+class HasDunderAll(Rule):
+    """Flag public modules without a top-level ``__all__``."""
+
+    id = "RP501"
+    name = "missing-dunder-all"
+    summary = "public modules must declare __all__"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        name = ctx.path.name
+        if name in _EXEMPT or (name.startswith("_") and name != "__init__.py"):
+            return
+        node, _ = _literal_all(ctx.tree)
+        if node is None:
+            yield self.finding(
+                ctx, ctx.tree, "public module does not declare __all__"
+            )
+
+
+@register
+class DunderAllAccurate(Rule):
+    """Flag ``__all__`` entries that name nothing in the module."""
+
+    id = "RP502"
+    name = "stale-dunder-all"
+    summary = "__all__ must only list names actually bound in the module"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        node, names = _literal_all(ctx.tree)
+        if node is None or names is None:
+            return
+        bound, has_star = _toplevel_bindings(ctx.tree)
+        if has_star:
+            return
+        for name in names:
+            if name not in bound:
+                yield self.finding(
+                    ctx, node, f"__all__ lists {name!r} but the module never binds it"
+                )
+
+
+@register
+class PublicDefExported(Rule):
+    """Flag public top-level defs/classes missing from ``__all__``."""
+
+    id = "RP503"
+    name = "unexported-public-def"
+    summary = "public top-level functions/classes must appear in __all__"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        node, names = _literal_all(ctx.tree)
+        if node is None or names is None:
+            return
+        exported = set(names)
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if stmt.name.startswith("_") or stmt.name in exported:
+                continue
+            yield self.finding(
+                ctx,
+                stmt,
+                f"public {'class' if isinstance(stmt, ast.ClassDef) else 'function'} "
+                f"{stmt.name!r} is not listed in __all__ (export it or underscore it)",
+            )

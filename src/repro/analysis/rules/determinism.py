@@ -1,0 +1,166 @@
+"""RP1xx — determinism of fault-injection campaigns.
+
+The paper's SDC probabilities come with 95% confidence intervals over
+~3,000 injections per configuration; re-running a campaign with the same
+seed must reproduce every trial bit-for-bit (also across process-pool
+workers).  Global RNG state and wall-clock reads break that silently:
+a single ``np.random.rand()`` call makes trial outcomes depend on import
+order and worker scheduling.  All randomness must flow through the
+seeded streams of :mod:`repro.utils.rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["LegacyNumpyRandom", "StdlibRandom", "WallClock", "numpy_aliases"]
+
+#: numpy.random attributes that touch hidden global state.  The new-style
+#: seeded constructors (default_rng / Generator / SeedSequence / Philox &
+#: friends) are the sanctioned replacements and are not listed.
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed", "get_state", "set_state", "RandomState",
+        "rand", "randn", "randint", "random_integers",
+        "random", "random_sample", "ranf", "sample", "bytes",
+        "choice", "shuffle", "permutation",
+        "uniform", "normal", "standard_normal", "lognormal",
+        "binomial", "poisson", "beta", "gamma", "exponential",
+        "laplace", "logistic", "multinomial", "multivariate_normal",
+        "triangular", "weibull", "pareto", "rayleigh", "geometric",
+        "hypergeometric", "negative_binomial", "chisquare", "dirichlet",
+        "f", "gumbel", "noncentral_chisquare", "noncentral_f",
+        "power", "standard_cauchy", "standard_exponential",
+        "standard_gamma", "standard_t", "vonmises", "wald", "zipf",
+    }
+)
+
+#: Wall-clock reads; monotonic timers (perf_counter, monotonic) are fine
+#: for progress display and are deliberately not listed.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "ctime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]`` (empty if not a chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return []
+
+
+def numpy_aliases(tree: ast.Module) -> set[str]:
+    """Names the module binds to numpy (``import numpy as np`` -> np)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+@register
+class LegacyNumpyRandom(Rule):
+    """Flag legacy global-state ``np.random.*`` APIs anywhere."""
+
+    id = "RP101"
+    name = "legacy-numpy-random"
+    summary = "np.random.<legacy> uses hidden global RNG state; seed via repro.utils.rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        nps = numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if (
+                    len(chain) == 3
+                    and chain[0] in (nps | {"numpy"})
+                    and chain[1] == "random"
+                    and chain[2] in _LEGACY_NP_RANDOM
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"legacy global-RNG API {'.'.join(chain)}; derive a seeded "
+                        "Generator via repro.utils.rng instead",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name in _LEGACY_NP_RANDOM:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"legacy global-RNG import numpy.random.{alias.name}; "
+                            "derive a seeded Generator via repro.utils.rng instead",
+                        )
+
+
+@register
+class StdlibRandom(Rule):
+    """Flag any import of the stdlib ``random`` module."""
+
+    id = "RP102"
+    name = "stdlib-random"
+    summary = "stdlib random is unseeded process-global state; use repro.utils.rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib random module shares one unseeded global stream "
+                            "across the process; use repro.utils.rng streams",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "stdlib random module shares one unseeded global stream "
+                    "across the process; use repro.utils.rng streams",
+                )
+
+
+@register
+class WallClock(Rule):
+    """Flag wall-clock reads inside campaign paths."""
+
+    id = "RP103"
+    name = "wall-clock-in-campaign"
+    summary = "wall-clock reads make campaign re-execution non-deterministic"
+    scope_key = "campaign_paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read {'.'.join(chain)}() in a campaign path; campaign "
+                    "behaviour must depend only on seeds (use time.perf_counter for "
+                    "durations, pass timestamps in explicitly)",
+                )

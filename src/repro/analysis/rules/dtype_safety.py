@@ -1,0 +1,123 @@
+"""RP2xx — bit-exact datatype safety.
+
+Table 3's datatype comparison is only meaningful if every value in a
+fixed-point campaign actually lives in the declared format.  An array
+materialized without an explicit ``dtype=`` silently defaults to
+float64, a bare Python float in kernel arithmetic promotes the whole
+expression to float64, and ``==`` on floats compares bit patterns the
+formats may not even be able to represent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules.determinism import _attr_chain, numpy_aliases
+
+__all__ = ["FloatEquality", "MissingDtype", "BareFloatKernelArithmetic"]
+
+#: Array constructors whose dtype defaults to float64 (the ``*_like``
+#: family inherits its dtype from the prototype and is exempt).
+_DEFAULT_FLOAT_CTORS = frozenset({"zeros", "ones", "empty", "full", "array"})
+
+#: Non-finite sentinels that float equality can never match reliably.
+_NONFINITE_ATTRS = frozenset({"inf", "nan", "NAN", "NaN", "Inf", "Infinity", "NINF", "PINF"})
+
+
+def _is_float_operand(node: ast.expr) -> bool:
+    """Float literal, ``-literal``, or a non-finite constant attribute."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    chain = _attr_chain(node)
+    return len(chain) == 2 and chain[0] in ("np", "numpy", "math") and chain[1] in _NONFINITE_ATTRS
+
+
+@register
+class FloatEquality(Rule):
+    """Flag ``==`` / ``!=`` against float literals or inf/nan."""
+
+    id = "RP201"
+    name = "float-equality"
+    summary = "float ==/!= is not bit-exact across datatypes; use isclose/isinf/isnan"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_operand(lhs) or _is_float_operand(rhs):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact float comparison; quantized formats may not represent "
+                        "the literal — use math.isclose/np.isclose (or np.isinf/np.isnan)",
+                    )
+                    break
+
+
+@register
+class MissingDtype(Rule):
+    """Flag float-defaulting array constructors without ``dtype=``."""
+
+    id = "RP202"
+    name = "missing-dtype"
+    summary = "np.zeros/ones/empty/full/array without dtype= defaults to float64"
+    scope_key = "dtype_paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        nps = numpy_aliases(ctx.tree) | {"numpy"}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) != 2 or chain[0] not in nps or chain[1] not in _DEFAULT_FLOAT_CTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # np.array copying an existing array preserves its dtype; only
+            # literal element lists silently default to float64.
+            if chain[1] == "array" and node.args and not isinstance(node.args[0], (ast.List, ast.Tuple)):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{'.'.join(chain)}(...) without an explicit dtype= silently "
+                "materializes float64 inside a bit-exact numeric path",
+            )
+
+
+@register
+class BareFloatKernelArithmetic(Rule):
+    """Flag bare Python-float arithmetic inside fixed-point kernels."""
+
+    id = "RP203"
+    name = "bare-float-kernel-arith"
+    summary = "float literals in fixed-point kernel arithmetic promote to float64"
+    scope_key = "kernel_paths"
+
+    _OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, self._OPS):
+                sides = (node.left, node.right)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, self._OPS):
+                sides = (node.value,)
+            else:
+                continue
+            if any(_is_float_operand(side) for side in sides):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare Python-float arithmetic in a fixed-point kernel promotes "
+                    "to float64; quantize through the codec (to_int/from_int) instead",
+                )

@@ -1,0 +1,116 @@
+"""RP4xx — registry consistency across the experiment and zoo packages.
+
+``repro-exp all`` and the campaign CLI only reach experiments that
+``runner.py`` registers, and campaigns can only build networks that
+``zoo/registry.py`` maps.  An orphan module is dead weight at best and,
+at worst, a silently stale reproduction of a paper table that no CI
+entry point ever executes again.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+
+__all__ = ["ExperimentRegistered", "ZooNetworkRegistered"]
+
+#: Experiment-package housekeeping modules that need no registration.
+_EXPERIMENT_EXEMPT = frozenset({"__init__", "__main__", "runner", "common"})
+
+
+def _dict_value_names(tree: ast.Module, dict_name: str) -> set[str] | None:
+    """Names appearing in the values of a top-level ``dict_name = {...}``.
+
+    Returns None when no such literal dict assignment exists.
+    """
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == dict_name:
+                if not isinstance(node.value, ast.Dict):
+                    return None
+                names: set[str] = set()
+                for value in node.value.values:
+                    for sub in ast.walk(value):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+                        elif isinstance(sub, ast.Attribute):
+                            names.add(sub.attr)
+                return names
+    return None
+
+
+@register
+class ExperimentRegistered(ProjectRule):
+    """Every experiment module must appear in runner.py's EXPERIMENTS."""
+
+    id = "RP401"
+    name = "experiment-registered"
+    summary = "repro/experiments modules must be registered in runner.py EXPERIMENTS"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        modules = ctx.find("repro/experiments")
+        runner = next((m for m in modules if m.path.name == "runner.py"), None)
+        if runner is None:
+            return
+        registered = _dict_value_names(runner.tree, "EXPERIMENTS")
+        if registered is None:
+            yield self.finding(runner, runner.tree, "runner.py has no literal EXPERIMENTS dict")
+            return
+        for mod in modules:
+            stem = mod.path.stem
+            if stem in _EXPERIMENT_EXEMPT or stem.startswith("_"):
+                continue
+            if stem not in registered:
+                yield self.finding(
+                    mod,
+                    mod.tree,
+                    f"experiment module {stem!r} is not registered in runner.py "
+                    "EXPERIMENTS; it will never run under 'repro-exp all' or CI",
+                )
+
+
+@register
+class ZooNetworkRegistered(ProjectRule):
+    """Every zoo ``build_*`` network must appear in zoo/registry.py."""
+
+    id = "RP402"
+    name = "zoo-network-registered"
+    summary = "repro/zoo build_* networks must be registered in registry.py NETWORKS"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        modules = ctx.find("repro/zoo")
+        registry = next((m for m in modules if m.path.name == "registry.py"), None)
+        if registry is None:
+            return
+        referenced: set[str] = {
+            node.id for node in ast.walk(registry.tree) if isinstance(node, ast.Name)
+        }
+        referenced |= {
+            alias.asname or alias.name
+            for node in ast.walk(registry.tree)
+            if isinstance(node, ast.ImportFrom)
+            for alias in node.names
+        }
+        for mod in modules:
+            if mod.path.name == "registry.py":
+                continue
+            for node in mod.tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name.startswith("build_"):
+                    if node.name not in referenced:
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"network builder {node.name!r} is not referenced by "
+                            "zoo/registry.py; campaigns cannot reach it by name",
+                        )

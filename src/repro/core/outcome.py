@@ -69,7 +69,9 @@ def _confidence_deviation(golden: np.ndarray, faulty: np.ndarray) -> float:
     f_top = float(faulty[int(np.argmax(faulty))])
     if not np.isfinite(f_top):
         return np.inf
-    if g_top == 0.0:
+    # Exact-zero guard before dividing by g_top; any nonzero golden top-1
+    # (however small) must use the relative-deviation formula.
+    if g_top == 0.0:  # repro: noqa[RP201]
         return np.inf if f_top != g_top else 0.0
     return abs(f_top - g_top) / abs(g_top)
 

@@ -15,7 +15,12 @@ import numpy as np
 from repro.core.injector import InjectionResult
 from repro.nn.network import InferenceResult, Network
 
-__all__ = ["block_output_layers", "euclidean_by_block", "bitwise_mismatch_by_block"]
+__all__ = [
+    "block_output_layers",
+    "relu_trace_layers",
+    "euclidean_by_block",
+    "bitwise_mismatch_by_block",
+]
 
 
 def block_output_layers(network: Network) -> dict[int, int]:

@@ -134,7 +134,8 @@ class FixedPointType(DataType):
     @property
     def resolution(self) -> float:
         """Smallest representable increment (one LSB)."""
-        return 1.0 / self._scale
+        # Reporting-side float: the LSB value leaves the codec by design.
+        return 1.0 / self._scale  # repro: noqa[RP203]
 
 
 #: 16-bit: 1 sign, 5 integer, 10 fraction bits (Eyeriss's native format).

@@ -9,8 +9,6 @@ ConvNet stay comparatively flat.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.fault import sample_datapath_fault
 from repro.core.injector import inject_datapath
 from repro.core.tracing import euclidean_by_block, relu_trace_layers

@@ -11,6 +11,7 @@ be overridden with the ``REPRO_CACHE`` environment variable.
 from __future__ import annotations
 
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -41,9 +42,17 @@ def save_params(network: Network, signature: str) -> Path:
         for pname, arr in layer.params().items():
             arrays[f"{i}.{pname}"] = arr
     path = params_path(signature)
-    tmp = path.with_suffix(".tmp.npz")
-    np.savez_compressed(tmp, **arrays)
-    tmp.replace(path)
+    # The temp name carries the writer's PID: concurrent campaign workers
+    # racing to persist the same signature must never interleave writes
+    # into one file (a shared ".tmp" produced truncated npz archives that
+    # failed later loads with zipfile.BadZipFile).  os.replace is atomic
+    # within a filesystem, so last-writer-wins with no torn state.
+    tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp.npz")
+    try:
+        np.savez_compressed(tmp, **arrays)
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 
@@ -68,7 +77,10 @@ def load_params(network: Network, signature: str) -> bool:
                     staged.append((arr, data[key]))
             for dst, src in staged:
                 dst[:] = src
-    except (OSError, ValueError):
+    except (OSError, ValueError, zipfile.BadZipFile):
+        # A corrupt archive (e.g. left behind by the pre-PID-suffix race)
+        # is unrecoverable: drop it so the caller rebuilds and re-saves.
+        path.unlink(missing_ok=True)
         return False
     network.invalidate_weight_caches()
     return True

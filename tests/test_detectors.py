@@ -8,7 +8,6 @@ from repro.core.fault import DatapathFault
 from repro.core.injector import inject_datapath
 from repro.dtypes import FLOAT16
 from repro.nn.profiling import BlockRange, RangeProfile
-from tests.conftest import build_tiny_network
 
 
 def make_detector(bounds: dict[int, tuple[float, float]], cushion=0.0) -> SymptomDetector:

@@ -7,9 +7,8 @@ import pytest
 from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.fault import BufferFault
 from repro.core.injector import inject_buffer
-from repro.dtypes import FXP_16B_RB10, FXP_32B_RB10, get_dtype
+from repro.dtypes import FXP_16B_RB10, FXP_32B_RB10
 from repro.experiments.common import ExperimentConfig
-from tests.conftest import build_tiny_network
 
 
 class TestStorageDtypeForward:

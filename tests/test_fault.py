@@ -11,7 +11,6 @@ from repro.core.fault import (
     sample_datapath_fault,
 )
 from repro.dtypes import FLOAT16, FXP_16B_RB10
-from tests.conftest import build_tiny_network
 
 
 class TestDescriptors:

@@ -7,7 +7,6 @@ from repro.core.fault import BufferFault, DatapathFault
 from repro.core.injector import inject_buffer, inject_datapath, replay_chain
 from repro.dtypes import DOUBLE, FLOAT16, FXP_16B_RB10
 from repro.nn.layers.base import MacChain
-from tests.conftest import build_tiny_network
 
 
 def chain_of(weights, inputs, bias=0.0):

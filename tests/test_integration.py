@@ -2,7 +2,6 @@
 at small sample sizes (shape assertions with generous margins)."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     CampaignSpec,

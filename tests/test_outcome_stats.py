@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
+from repro.core.outcome import SDC_CLASSES, classify_outcome
 from repro.core.stats import RateEstimate, combine_counts, wilson_interval
 from repro.nn.network import InferenceResult
 

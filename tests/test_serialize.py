@@ -3,8 +3,6 @@
 import json
 
 import numpy as np
-import pytest
-
 from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.serialize import campaign_summary, load_json, save_json, to_jsonable
 from repro.experiments.common import ExperimentConfig

@@ -12,7 +12,6 @@ from repro.core.tracing import (
     relu_trace_layers,
 )
 from repro.dtypes import FLOAT16
-from tests.conftest import build_tiny_network
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """VGG-16 extension network and the depth-study experiment."""
 
-import numpy as np
 import pytest
 
 from repro.nn.profiling import profile_ranges
