@@ -42,7 +42,9 @@ class LintConfig:
     exclude: tuple[str, ...] = ()
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
-    campaign_paths: tuple[str, ...] = ("repro/core", "repro/experiments")
+    campaign_paths: tuple[str, ...] = (
+        "repro/core", "repro/experiments", "repro/utils/parallel.py",
+    )
     dtype_paths: tuple[str, ...] = ("repro/dtypes", "repro/nn")
     kernel_paths: tuple[str, ...] = ("repro/dtypes/fixedpoint.py",)
     config_file: str | None = field(default=None, compare=False)

@@ -19,7 +19,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, register
 from repro.analysis.rules.determinism import _attr_chain
 
-__all__ = ["SharedTempReplace"]
+__all__ = ["SharedTempReplace", "TempWithoutPublish"]
 
 #: Identifiers anywhere in the temp-name expression (or the value it was
 #: built from) that make the name unique per process or per call.
@@ -108,4 +108,43 @@ class SharedTempReplace(Rule):
                         "temp filename is shared between processes; concurrent campaign "
                         "workers interleave writes and publish a torn file on replace() "
                         "— embed os.getpid()/uuid4() in the name (or use tempfile.mkstemp)",
+                    )
+
+
+@register
+class TempWithoutPublish(Rule):
+    """Flag unique temp files that are written but never atomically published.
+
+    The complement of RP301: the checkpoint writer's discipline is
+    pid-unique temp + ``os.replace`` — both halves.  A function that
+    builds a per-process ``*.tmp`` name but never renames it into place
+    either leaks the temp file or (worse) readers are pointed at the
+    temp path directly, losing the atomicity the unique name implies.
+    """
+
+    id = "RP302"
+    name = "temp-without-publish"
+    summary = "unique temp file written but never published via os.replace/rename"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scopes: list[ast.AST] = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes or [ctx.tree]:
+            replaced = _replace_targets(scope)
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Assign):
+                    continue
+                names = {t.id for t in node.targets if isinstance(t, ast.Name)}
+                if not names or names & replaced:
+                    continue
+                if _mentions_tmp(node.value) and _has_uniqueness_token(node.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "per-process temp filename is never renamed into place in this "
+                        "function; finish the atomic-write pattern with "
+                        "os.replace(tmp, final) (and unlink the temp on failure)",
                     )

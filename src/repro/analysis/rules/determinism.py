@@ -18,7 +18,7 @@ from repro.analysis.engine import FileContext
 from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, register
 
-__all__ = ["LegacyNumpyRandom", "StdlibRandom", "WallClock", "numpy_aliases"]
+__all__ = ["LegacyNumpyRandom", "StdlibRandom", "WallClock", "SleepInCampaign", "numpy_aliases"]
 
 #: numpy.random attributes that touch hidden global state.  The new-style
 #: seeded constructors (default_rng / Generator / SeedSequence / Philox &
@@ -163,4 +163,35 @@ class WallClock(Rule):
                     f"wall-clock read {'.'.join(chain)}() in a campaign path; campaign "
                     "behaviour must depend only on seeds (use time.perf_counter for "
                     "durations, pass timestamps in explicitly)",
+                )
+
+
+@register
+class SleepInCampaign(Rule):
+    """Flag ``time.sleep`` calls inside campaign paths.
+
+    A sleep on the trial path stalls every injection behind it and makes
+    campaign wall-time depend on scheduling rather than work.  The one
+    sanctioned use is supervisor backoff between process-pool rebuilds,
+    which must be explicitly exempted with ``# repro: noqa[RP104]`` so the
+    exception stays visible in review (see docs/resilience.md).
+    """
+
+    id = "RP104"
+    name = "sleep-in-campaign"
+    summary = "time.sleep on a campaign path stalls trials; exempt backoff with noqa"
+    scope_key = "campaign_paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) >= 2 and (chain[-2], chain[-1]) == ("time", "sleep"):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "time.sleep() on a campaign path; trials should never block on "
+                    "wall time — if this is supervisor backoff, mark the line "
+                    "'# repro: noqa[RP104]' to record the exemption",
                 )

@@ -16,8 +16,11 @@ paper's sense, and masked trials count as non-SDC outcomes.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from functools import partial
+from pathlib import Path
 
 import numpy as np
 
@@ -30,12 +33,21 @@ from repro.core.fault import (
 from repro.core.injector import inject_buffer, inject_datapath
 from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
 from repro.core.stats import RateEstimate
+from repro.core.tracing import EventRecorder
 from repro.dtypes.registry import get_dtype
-from repro.utils.parallel import map_trials
+from repro.utils.parallel import TrialFailure, exc_summary, map_trials
 from repro.utils.rng import child_rng
 from repro.zoo.registry import eval_inputs, get_network
 
-__all__ = ["CampaignSpec", "TrialRecord", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignSpec",
+    "TrialRecord",
+    "TrialError",
+    "ExecutionStats",
+    "CampaignAbortedError",
+    "CampaignResult",
+    "run_campaign",
+]
 
 #: Campaign targets: the datapath, or one buffer reuse scope.
 TARGETS = ("datapath", "layer_weight", "row_activation", "next_layer", "single_read")
@@ -125,12 +137,83 @@ class TrialRecord:
     reached_output: bool | None = None
 
 
+@dataclass(frozen=True)
+class TrialError:
+    """A quarantined trial: the harness survived, the trial did not.
+
+    Attributes:
+        index: Trial index that failed.
+        reason: ``"error"`` (the trial raised), ``"crash"`` (its worker
+            process died), or ``"timeout"`` (it exceeded the per-chunk
+            deadline).
+        exc_type: Exception class name, when one was caught.
+        message: Exception message / compact traceback tail.
+        site: Fault site sampled before the failure, when known.
+        attempts: Executions attempted before quarantine.
+    """
+
+    index: int
+    reason: str
+    exc_type: str | None = None
+    message: str = ""
+    site: str | None = None
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Supervision counters for one :func:`run_campaign` invocation."""
+
+    resumed: int = 0
+    retries: int = 0
+    rebuilds: int = 0
+    timeouts: int = 0
+    bisections: int = 0
+    quarantined: int = 0
+    degraded: bool = False
+
+    def merge(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Field-wise combination (for pooled multi-campaign results)."""
+        return ExecutionStats(
+            resumed=self.resumed + other.resumed,
+            retries=self.retries + other.retries,
+            rebuilds=self.rebuilds + other.rebuilds,
+            timeouts=self.timeouts + other.timeouts,
+            bisections=self.bisections + other.bisections,
+            quarantined=self.quarantined + other.quarantined,
+            degraded=self.degraded or other.degraded,
+        )
+
+
+class CampaignAbortedError(RuntimeError):
+    """Raised when quarantined trials exceed the error-fraction budget.
+
+    Completed trials are flushed to the checkpoint (when one is
+    configured) before raising, so an aborted campaign loses no work.
+    """
+
+    def __init__(self, message: str, n_errors: int, n_completed: int,
+                 checkpoint: Path | None = None):
+        super().__init__(message)
+        self.n_errors = n_errors
+        self.n_completed = n_completed
+        self.checkpoint = checkpoint
+
+
 @dataclass
 class CampaignResult:
-    """Trial records plus the paper-style aggregations."""
+    """Trial records plus the paper-style aggregations.
+
+    ``records`` holds successfully classified trials only; trials the
+    resilient runner had to quarantine appear in ``errors`` and are
+    excluded from every aggregation (their outcomes are unknown, not
+    non-SDC).  ``stats`` reports what the harness survived.
+    """
 
     spec: CampaignSpec
     records: list[TrialRecord] = field(default_factory=list)
+    errors: list[TrialError] = field(default_factory=list)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
 
     # -- basic counts ----------------------------------------------------- #
     @property
@@ -221,7 +304,46 @@ class CampaignResult:
 
     def merge(self, other: "CampaignResult") -> "CampaignResult":
         """Pool trials of two campaigns (for multi-config aggregates)."""
-        return CampaignResult(spec=self.spec, records=self.records + other.records)
+        return CampaignResult(
+            spec=self.spec,
+            records=self.records + other.records,
+            errors=self.errors + other.errors,
+            stats=self.stats.merge(other.stats),
+        )
+
+
+def _maybe_test_fault(trial: int) -> None:
+    """Meta fault injection: fail the *harness* on purpose (tests/CI only).
+
+    A fault-injection framework must be able to inject faults into
+    itself; the resilience tests and the CI kill/resume smoke drive this
+    hook.  ``REPRO_CAMPAIGN_FAULT`` holds ``kind:selector[:arg]``:
+
+    - ``crash:7`` — the worker running trial 7 calls ``os._exit``;
+    - ``hang:7[:secs]`` — trial 7 sleeps (default 3600 s);
+    - ``raise:7`` — trial 7 raises ``RuntimeError``;
+    - ``slow:*[:secs]`` — every trial sleeps (default 0.05 s), stretching
+      the campaign so a kill can land mid-flight.
+
+    The selector is a trial index or ``*``.  Unset (the normal case),
+    the hook is a no-op.
+    """
+    directive = os.environ.get("REPRO_CAMPAIGN_FAULT")
+    if not directive:
+        return
+    kind, _, rest = directive.partition(":")
+    selector, _, arg = rest.partition(":")
+    if selector != "*" and (not selector or int(selector) != trial):
+        return
+    if kind == "crash":
+        os._exit(41)
+    elif kind == "hang":
+        # Deliberate wedge so the supervisor's deadline machinery fires.
+        time.sleep(float(arg) if arg else 3600.0)  # repro: noqa[RP104]
+    elif kind == "slow":
+        time.sleep(float(arg) if arg else 0.05)  # repro: noqa[RP104]
+    elif kind == "raise":
+        raise RuntimeError(f"injected test fault at trial {trial}")
 
 
 class _CampaignTask:
@@ -230,6 +352,7 @@ class _CampaignTask:
 
     def __init__(self, spec: CampaignSpec):
         self.spec = spec
+        self.last_site: str | None = None
         self.dtype = get_dtype(spec.dtype)
         self.storage_dtype = get_dtype(spec.storage_dtype) if spec.storage_dtype else None
         self.network = get_network(spec.network, spec.scale)
@@ -271,6 +394,8 @@ class _CampaignTask:
 
     def __call__(self, trial: int) -> TrialRecord:
         spec = self.spec
+        self.last_site = None
+        _maybe_test_fault(trial)
         rng = child_rng(spec.seed, trial)
         golden = self.goldens[trial % len(self.goldens)]
         record = spec.with_detection or spec.record_propagation
@@ -284,11 +409,11 @@ class _CampaignTask:
                 layer_index=spec.layer_index,
                 burst=spec.burst,
             )
+            site = self.last_site = fault.latch
             injection = inject_datapath(
                 self.network, self.dtype, fault, golden, record=record,
                 storage_dtype=self.storage_dtype,
             )
-            site = fault.latch
             block = self.network.layers[fault.layer_index].block or 0
             bit = fault.bit
         else:
@@ -298,11 +423,11 @@ class _CampaignTask:
                 self.network, spec.target, fault_dtype, rng, bit=spec.bit,
                 burst=spec.burst, occupancy=self.occupancy,
             )
+            site = self.last_site = fault.scope
             injection = inject_buffer(
                 self.network, self.dtype, fault, golden, record=record,
                 storage_dtype=self.storage_dtype,
             )
-            site = fault.scope
             block = self.network.layers[fault.layer_index].block or 0
             bit = fault.bit
         outcome = classify_outcome(
@@ -334,12 +459,166 @@ class _CampaignTask:
         )
 
 
-def run_campaign(spec: CampaignSpec, jobs: int | None = 1) -> CampaignResult:
-    """Execute a campaign, optionally across a process pool.
+class _SafeTrialTask:
+    """Per-worker wrapper: an exception inside a trial becomes a
+    quarantined :class:`TrialError` instead of poisoning the chunk."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.task = _CampaignTask(spec)
+
+    def __call__(self, trial: int) -> TrialRecord | TrialError:
+        try:
+            return self.task(trial)
+        except Exception as exc:
+            return TrialError(
+                index=trial,
+                reason="error",
+                exc_type=type(exc).__name__,
+                message=exc_summary(exc),
+                site=self.task.last_site,
+            )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int | None = 1,
+    *,
+    chunk: int = 64,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 64,
+    trial_timeout: float | None = None,
+    max_retries: int = 2,
+    max_error_frac: float = 0.0,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 8.0,
+    timeout_grace: float = 5.0,
+    events: EventRecorder | None = None,
+) -> CampaignResult:
+    """Execute a campaign resiliently, optionally across a process pool.
 
     Trial ``i`` always uses the RNG stream ``child_rng(spec.seed, i)``,
-    so results are identical for any ``jobs`` value.
+    so results are identical for any ``jobs`` value — and, because a
+    trial's outcome depends only on its index, a checkpointed campaign
+    resumes bit-identically after a kill.
+
+    Args:
+        spec: Campaign configuration.
+        jobs: Worker processes (1 = inline, None/0 = all cores).
+        chunk: Trials per inter-process message.
+        checkpoint: JSONL checkpoint path; completed trials are
+            periodically snapshotted there (atomically).
+        resume: Skip trial indices already present in ``checkpoint``.
+            A checkpoint written under any other spec is refused
+            (:class:`~repro.core.checkpoint.CheckpointMismatchError`).
+            Previously quarantined trials are *not* re-run; delete the
+            checkpoint to retry them.
+        checkpoint_every: Completed trials between snapshot flushes.
+        trial_timeout: Per-trial seconds before a chunk is declared hung
+            (see :func:`repro.utils.parallel.map_trials`); None disables.
+        max_retries: Retry budget per failing chunk / raising trial.
+        max_error_frac: Abort (:class:`CampaignAbortedError`) once more
+            than this fraction of ``spec.n_trials`` is quarantined.  The
+            default 0.0 tolerates no errors — raising it is an explicit
+            statement that partial campaigns are acceptable.
+        backoff_base / backoff_cap: Pool-rebuild backoff schedule.
+        timeout_grace: Flat per-chunk allowance for worker startup.
+        events: :class:`~repro.core.tracing.EventRecorder` observing
+            retry/rebuild/quarantine/resume events (a fresh one is used
+            when None; note ``stats`` counts reflect every emission the
+            recorder has seen).
     """
-    # functools.partial (not a lambda) so the factory pickles into workers.
-    records = map_trials(partial(_CampaignTask, spec), spec.n_trials, jobs=jobs)
-    return CampaignResult(spec=spec, records=list(records))
+    recorder = events if events is not None else EventRecorder()
+    writer = None
+    done: dict[int, TrialRecord | TrialError] = {}
+    resumed = 0
+    if checkpoint is not None:
+        # Imported lazily: checkpoint.py depends on this module's types.
+        from repro.core.checkpoint import CheckpointWriter, load_checkpoint
+
+        writer = CheckpointWriter(checkpoint, spec)
+        if resume:
+            state = load_checkpoint(checkpoint, spec=spec)
+            if state is not None:
+                done.update(state.records)
+                done.update(state.errors)
+                writer.preload(state)
+                resumed = state.n_completed
+                recorder.emit("resume", completed=resumed, path=str(checkpoint))
+
+    remaining = [i for i in range(spec.n_trials) if i not in done]
+    error_budget = max_error_frac * spec.n_trials
+    n_errors = sum(1 for v in done.values() if isinstance(v, TrialError))
+    since_flush = 0
+
+    def absorb(index: int, value: object) -> None:
+        nonlocal n_errors, since_flush
+        if isinstance(value, TrialFailure):
+            # The supervised pool already emitted the quarantine event.
+            value = TrialError(
+                index=index, reason=value.reason, exc_type=value.exc_type,
+                message=value.message, attempts=value.attempts,
+            )
+        elif isinstance(value, TrialError):
+            recorder.emit("quarantine", index=index, reason=value.reason,
+                          exc_type=value.exc_type)
+        done[index] = value
+        if isinstance(value, TrialError):
+            n_errors += 1
+        if writer is not None:
+            if isinstance(value, TrialError):
+                writer.add_error(index, value)
+            else:
+                writer.add_record(index, value)
+            since_flush += 1
+            if since_flush >= checkpoint_every:
+                writer.flush()
+                since_flush = 0
+                recorder.emit("checkpoint", completed=len(done))
+        if n_errors > error_budget:
+            if writer is not None:
+                writer.flush()
+                since_flush = 0
+            recorder.emit("abort", errors=n_errors, completed=len(done))
+            raise CampaignAbortedError(
+                f"{n_errors} quarantined trials exceed max_error_frac="
+                f"{max_error_frac} of {spec.n_trials} trials",
+                n_errors=n_errors,
+                n_completed=len(done),
+                checkpoint=Path(checkpoint) if checkpoint is not None else None,
+            )
+
+    try:
+        if remaining:
+            # functools.partial (not a lambda) so the factory pickles
+            # into workers.
+            map_trials(
+                partial(_SafeTrialTask, spec),
+                n_trials=0,
+                jobs=jobs,
+                chunk=chunk,
+                indices=remaining,
+                timeout=trial_timeout,
+                timeout_grace=timeout_grace,
+                max_retries=max_retries,
+                backoff_base=backoff_base,
+                backoff_cap=backoff_cap,
+                on_event=recorder.emit,
+                on_result=absorb,
+            )
+    finally:
+        if writer is not None and since_flush:
+            writer.flush()
+
+    records = [v for _, v in sorted(done.items()) if isinstance(v, TrialRecord)]
+    errors = [v for _, v in sorted(done.items()) if isinstance(v, TrialError)]
+    stats = ExecutionStats(
+        resumed=resumed,
+        retries=recorder.count("retry"),
+        rebuilds=recorder.count("rebuild"),
+        timeouts=recorder.count("timeout"),
+        bisections=recorder.count("bisect"),
+        quarantined=len(errors),
+        degraded=recorder.count("degrade") > 0,
+    )
+    return CampaignResult(spec=spec, records=records, errors=errors, stats=stats)

@@ -1,0 +1,229 @@
+"""Campaign checkpoint/resume: atomic JSONL snapshots of completed trials.
+
+At the paper's scale (~3M injections, Section 4) a campaign can run for
+hours; losing every completed trial to one machine fault is not
+acceptable.  :func:`repro.core.campaign.run_campaign` periodically hands
+its completed :class:`~repro.core.campaign.TrialRecord` /
+:class:`~repro.core.campaign.TrialError` batches to a
+:class:`CheckpointWriter`, and on restart resumes from exactly the trial
+indices that are missing.  Resume is *bit-identical* to an uninterrupted
+run regardless of parallelism because every trial draws from its own
+``child_rng(seed, trial_index)`` stream — a trial's outcome depends only
+on its index, never on which worker ran it or when.
+
+File format (version 1) — JSON Lines:
+
+- line 1: header ``{"format": "repro-campaign-checkpoint", "version": 1,
+  "fingerprint": ..., "spec": {...}}``
+- one line per completed trial: ``{"index": i, "record": {...}}`` for a
+  classified trial or ``{"index": i, "error": {...}}`` for a quarantined
+  one.
+
+Every flush rewrites the file as an atomic snapshot — pid-unique temp
+name + ``os.replace`` (the RP3xx atomic-write discipline, see
+``docs/static_analysis.md``) — so a reader, or a resume after SIGKILL,
+never observes a torn line.  The ``fingerprint`` keys the checkpoint to
+its :class:`~repro.core.campaign.CampaignSpec`: resuming under a spec
+with any differing field is refused rather than silently mixing trials
+from two different fault models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.campaign import CampaignSpec, TrialError, TrialRecord
+from repro.core.outcome import Outcome
+from repro.core.serialize import from_jsonable, to_jsonable
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointMismatchError",
+    "CheckpointState",
+    "CheckpointWriter",
+    "campaign_fingerprint",
+    "decode_record",
+    "encode_record",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+_FORMAT = "repro-campaign-checkpoint"
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The checkpoint on disk belongs to a different campaign spec."""
+
+
+def campaign_fingerprint(spec: CampaignSpec) -> str:
+    """Stable hash of every spec field that shapes trial outcomes.
+
+    Any change to the spec — network, dtype, seed, trial count, fault
+    model knobs — changes the fingerprint, so a checkpoint can never be
+    resumed into a campaign it does not describe.
+    """
+    payload = json.dumps(to_jsonable(spec), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_record(record: TrialRecord) -> dict:
+    """Serialize one trial record to JSON-safe types."""
+    return to_jsonable(dataclasses.asdict(record))
+
+
+def decode_record(data: dict) -> TrialRecord:
+    """Rebuild a :class:`TrialRecord` from its :func:`encode_record` form.
+
+    Uses :func:`repro.core.serialize.from_jsonable` so non-finite
+    corrupted values (``inf``/``nan`` after an exponent-bit flip) reload
+    as floats, not strings.
+    """
+    plain = from_jsonable(data)
+    assert isinstance(plain, dict)
+    outcome = Outcome(**{
+        f.name: plain["outcome"][f.name] for f in dataclasses.fields(Outcome)
+    })
+    kwargs = {
+        f.name: plain[f.name]
+        for f in dataclasses.fields(TrialRecord)
+        if f.name != "outcome" and f.name in plain
+    }
+    return TrialRecord(outcome=outcome, **kwargs)
+
+
+def _decode_error(data: dict) -> TrialError:
+    plain = from_jsonable(data)
+    assert isinstance(plain, dict)
+    return TrialError(**{
+        f.name: plain[f.name] for f in dataclasses.fields(TrialError) if f.name in plain
+    })
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointState:
+    """Completed work recovered from a checkpoint file."""
+
+    fingerprint: str | None
+    records: dict[int, TrialRecord]
+    errors: dict[int, TrialError]
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.records) + len(self.errors)
+
+
+def load_checkpoint(path: str | Path, spec: CampaignSpec | None = None) -> CheckpointState | None:
+    """Read a checkpoint; None when ``path`` does not exist.
+
+    Args:
+        path: Checkpoint JSONL file.
+        spec: When given, the file's fingerprint must match the spec's
+            (raises :class:`CheckpointMismatchError` otherwise).
+
+    Undecodable lines are skipped rather than fatal — a checkpoint can
+    only lose trials to corruption, never abort the campaign (skipped
+    trials simply re-run).
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    fingerprint: str | None = None
+    records: dict[int, TrialRecord] = {}
+    errors: dict[int, TrialError] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                continue
+            if data.get("format") == _FORMAT:
+                fingerprint = data.get("fingerprint")
+                continue
+            index = int(data["index"])
+            if "record" in data:
+                records[index] = decode_record(data["record"])
+            elif "error" in data:
+                errors[index] = _decode_error(data["error"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    if spec is not None:
+        expected = campaign_fingerprint(spec)
+        if fingerprint != expected:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} was written for fingerprint {fingerprint!r}, "
+                f"but the requested campaign has {expected!r}; delete the file or "
+                "point --checkpoint elsewhere to start fresh"
+            )
+    return CheckpointState(fingerprint=fingerprint, records=records, errors=errors)
+
+
+class CheckpointWriter:
+    """Accumulates completed trials and snapshots them atomically.
+
+    Each :meth:`flush` rewrites the whole file (header + one line per
+    completed trial, in index order) to a pid-unique temp name and
+    publishes it with ``os.replace`` — concurrent or killed writers can
+    never leave a torn file behind.  Snapshot cost is linear in completed
+    trials; at the default flush cadence (one flush per completed chunk)
+    this stays far below injection cost.
+    """
+
+    def __init__(self, path: str | Path, spec: CampaignSpec):
+        self.path = Path(path)
+        self.fingerprint = campaign_fingerprint(spec)
+        self._header = {
+            "format": _FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "spec": to_jsonable(spec),
+        }
+        self._entries: dict[int, dict] = {}
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def preload(self, state: CheckpointState) -> None:
+        """Carry a resumed run's prior trials into subsequent snapshots."""
+        for index, record in state.records.items():
+            self._entries[index] = {"index": index, "record": encode_record(record)}
+        for index, error in state.errors.items():
+            self._entries[index] = {
+                "index": index,
+                "error": to_jsonable(dataclasses.asdict(error)),
+            }
+        self._dirty = self._dirty or state.n_completed > 0
+
+    def add_record(self, index: int, record: TrialRecord) -> None:
+        self._entries[index] = {"index": index, "record": encode_record(record)}
+        self._dirty = True
+
+    def add_error(self, index: int, error: TrialError) -> None:
+        self._entries[index] = {"index": index, "error": to_jsonable(dataclasses.asdict(error))}
+        self._dirty = True
+
+    def flush(self) -> Path:
+        """Publish an atomic snapshot of everything added so far."""
+        if not self._dirty and self.path.exists():
+            return self.path
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(self._header, sort_keys=True)]
+        lines.extend(
+            json.dumps(self._entries[index], sort_keys=True) for index in sorted(self._entries)
+        )
+        # Pid-unique temp + os.replace: a concurrent writer or a SIGKILL
+        # mid-write must never publish a torn snapshot (RP301/RP302).
+        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._dirty = False
+        return self.path

@@ -11,9 +11,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.campaign import TARGETS, CampaignSpec, run_campaign
+from repro.core.campaign import TARGETS, CampaignAbortedError, CampaignSpec, run_campaign
+from repro.core.checkpoint import CheckpointMismatchError
 from repro.core.fault import DATAPATH_LATCHES
 from repro.core.serialize import campaign_summary, save_json
+from repro.core.tracing import EventRecorder
 from repro.dtypes.registry import DTYPES
 from repro.utils.tables import format_table
 from repro.zoo.registry import NETWORKS
@@ -65,6 +67,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="Proteus-style reduced-precision buffer storage")
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--out", default=None, help="write the JSON summary here")
+    resilience = parser.add_argument_group("resilience (docs/resilience.md)")
+    resilience.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="periodically snapshot completed trials to this JSONL file")
+    resilience.add_argument("--resume", action="store_true",
+                            help="skip trial indices already in --checkpoint")
+    resilience.add_argument("--checkpoint-every", type=int, default=64, metavar="N",
+                            help="completed trials between checkpoint flushes")
+    resilience.add_argument("--trial-timeout", type=float, default=None, metavar="SEC",
+                            help="per-trial time budget; hung chunks are killed and retried")
+    resilience.add_argument("--max-retries", type=int, default=2, metavar="N",
+                            help="retry budget per failing chunk before bisection/quarantine")
+    resilience.add_argument("--max-error-frac", type=float, default=0.0, metavar="F",
+                            help="abort once more than this fraction of trials is quarantined")
+    resilience.add_argument("--events", action="store_true",
+                            help="stream retry/rebuild/quarantine events to stderr")
     args = parser.parse_args(argv)
 
     try:
@@ -73,7 +90,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"invalid campaign: {exc}", file=sys.stderr)
         return 2
 
-    result = run_campaign(spec, jobs=args.jobs)
+    recorder = EventRecorder(
+        sink=(lambda event: print(event, file=sys.stderr)) if args.events else None
+    )
+    try:
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            trial_timeout=args.trial_timeout,
+            max_retries=args.max_retries,
+            max_error_frac=args.max_error_frac,
+            events=recorder,
+        )
+    except CheckpointMismatchError as exc:
+        print(f"checkpoint mismatch: {exc}", file=sys.stderr)
+        return 2
+    except CampaignAbortedError as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        if exc.checkpoint is not None:
+            print(f"completed trials are preserved in {exc.checkpoint}; "
+                  "re-run with --resume after fixing the cause", file=sys.stderr)
+        return 3
     rows = []
     labels = {"sdc1": "SDC-1", "sdc5": "SDC-5", "sdc10": "SDC-10%", "sdc20": "SDC-20%"}
     for cls, rate in result.sdc_rates().items():
@@ -90,6 +130,15 @@ def main(argv: list[str] | None = None) -> int:
         q = result.detection_quality()
         print(f"detection ({spec.detector_kind}): precision {q.precision:.2%}, "
               f"recall {q.recall:.2%} over {q.total_sdc} SDCs")
+    stats = result.stats
+    if stats.resumed or stats.quarantined or stats.retries or stats.rebuilds:
+        print(f"execution: {stats.resumed} resumed, {stats.quarantined} quarantined, "
+              f"{stats.retries} retries, {stats.rebuilds} pool rebuilds, "
+              f"{stats.timeouts} timeouts, {stats.bisections} bisections"
+              + (", degraded to inline" if stats.degraded else ""))
+    for err in result.errors:
+        print(f"  quarantined trial {err.index}: {err.reason}"
+              + (f" ({err.exc_type})" if err.exc_type else ""))
     if args.out:
         path = save_json(campaign_summary(result), args.out)
         print(f"summary written to {path}")

@@ -18,7 +18,10 @@ import numpy as np
 from repro.core.campaign import CampaignResult
 from repro.core.outcome import SDC_CLASSES
 
-__all__ = ["to_jsonable", "campaign_summary", "save_json", "load_json"]
+__all__ = ["to_jsonable", "from_jsonable", "campaign_summary", "save_json", "load_json"]
+
+#: String spellings ``to_jsonable`` uses for the floats JSON cannot hold.
+_NONFINITE = {"nan": float("nan"), "inf": float("inf"), "-inf": float("-inf")}
 
 
 def to_jsonable(obj: object) -> object:
@@ -56,6 +59,26 @@ def to_jsonable(obj: object) -> object:
     return str(obj)
 
 
+def from_jsonable(obj: object) -> object:
+    """Undo ``to_jsonable``'s lossy float encoding after a JSON round-trip.
+
+    ``to_jsonable`` spells the non-finite floats as the strings ``"nan"``
+    / ``"inf"`` / ``"-inf"`` (JSON has no literal for them); this inverse
+    restores them recursively through dicts and lists.  Checkpoint/resume
+    loading depends on it: a trial whose corrupted value overflowed to
+    ``inf`` must reload as ``inf``, not as the string.  By the same token
+    a *legitimate* string ``"nan"`` cannot survive the round-trip — do
+    not use those spellings as data in serialized records.
+    """
+    if isinstance(obj, str):
+        return _NONFINITE.get(obj, obj)
+    if isinstance(obj, list):
+        return [from_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: from_jsonable(v) for k, v in obj.items()}
+    return obj
+
+
 def campaign_summary(result: CampaignResult) -> dict:
     """Compact JSON-ready summary of a campaign (no per-trial records)."""
     summary = {
@@ -78,6 +101,11 @@ def campaign_summary(result: CampaignResult) -> dict:
     summary["by_bit"] = {str(b): r.p for b, r in result.rate_by_bit().items()}
     summary["by_block"] = {str(b): r.p for b, r in result.rate_by_block().items()}
     summary["by_site"] = {s: r.p for s, r in result.rate_by_site().items()}
+    by_reason: dict[str, int] = {}
+    for err in result.errors:
+        by_reason[err.reason] = by_reason.get(err.reason, 0) + 1
+    summary["errors"] = {"n": len(result.errors), "by_reason": by_reason}
+    summary["execution"] = to_jsonable(result.stats)
     quality = result.detection_quality()
     if quality.total_injected:
         summary["detection"] = {

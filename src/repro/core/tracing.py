@@ -1,4 +1,5 @@
-"""Error-propagation tracing (Figure 7 and Table 5 machinery).
+"""Error-propagation tracing (Figure 7 and Table 5 machinery) and
+campaign-execution event tracing.
 
 Figure 7 measures, per layer, the Euclidean distance between the faulty
 and golden ACT values after a fault is injected at layer 1 — showing LRN
@@ -6,9 +7,20 @@ slashing the deviation while plain stacks carry it flat.  Table 5 counts
 the fraction of faults whose corruption is still present bit-wise in the
 final fmap (the campaign's ``record_propagation`` covers the rates; this
 module provides the per-block distance trace).
+
+The second half of the module makes *long campaigns* observable: the
+supervised pool (:mod:`repro.utils.parallel`) and the campaign runner
+emit ``retry`` / ``rebuild`` / ``timeout`` / ``bisect`` / ``quarantine``
+/ ``degrade`` / ``resume`` / ``checkpoint`` events, which an
+:class:`EventRecorder` counts (and optionally forwards to a sink such as
+``print``) so a multi-hour run reports what its harness survived.
 """
 
 from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -20,7 +32,78 @@ __all__ = [
     "relu_trace_layers",
     "euclidean_by_block",
     "bitwise_mismatch_by_block",
+    "CampaignEvent",
+    "EventRecorder",
 ]
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One supervision event emitted while executing a campaign.
+
+    Attributes:
+        seq: Monotonic sequence number within the recorder.
+        kind: Event kind (``retry``, ``rebuild``, ``timeout``,
+            ``bisect``, ``quarantine``, ``degrade``, ``resume``,
+            ``checkpoint``, ``abort``).
+        detail: Kind-specific payload (chunk span, attempt count, ...).
+    """
+
+    seq: int
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[campaign:{self.kind}] {parts}".rstrip()
+
+
+class EventRecorder:
+    """Collects campaign supervision events; the pool's ``on_event`` hook.
+
+    Stores at most ``max_events`` events (a multi-million-trial campaign
+    must not grow an unbounded log) but counts every emission, so
+    :meth:`count` stays exact regardless of truncation.
+
+    Args:
+        sink: Optional callable invoked with every :class:`CampaignEvent`
+            as it is emitted (e.g. ``lambda e: print(e, file=sys.stderr)``
+            for live progress on a long run).
+        max_events: Retention cap for the in-memory event list.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[CampaignEvent], None] | None = None,
+        max_events: int = 1000,
+    ):
+        self.events: list[CampaignEvent] = []
+        self._counts: Counter[str] = Counter()
+        self._sink = sink
+        self._max_events = max_events
+        self._seq = 0
+
+    def emit(self, kind: str, detail: dict | None = None, **extra) -> CampaignEvent:
+        """Record one event; signature matches the pool's ``on_event``."""
+        payload = dict(detail or {})
+        payload.update(extra)
+        event = CampaignEvent(seq=self._seq, kind=kind, detail=payload)
+        self._seq += 1
+        self._counts[kind] += 1
+        if len(self.events) < self._max_events:
+            self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+        return event
+
+    def count(self, kind: str) -> int:
+        """Total emissions of ``kind`` (unaffected by retention cap)."""
+        return self._counts[kind]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Emission totals by kind."""
+        return dict(self._counts)
 
 
 def block_output_layers(network: Network) -> dict[int, int]:

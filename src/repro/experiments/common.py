@@ -12,6 +12,7 @@ wires up trial counts, scale, seed and parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.campaign import CampaignResult, CampaignSpec, run_campaign
 
@@ -33,12 +34,26 @@ class ExperimentConfig:
         scale: Network scale profile.
         seed: Root seed.
         jobs: Worker processes for campaigns (1 = inline).
+        trial_timeout: Per-trial seconds before a hung chunk is killed
+            and retried (None disables deadlines).
+        max_retries: Retry budget per failing chunk / raising trial.
+        max_error_frac: Quarantined-trial fraction tolerated per campaign
+            before aborting (see docs/resilience.md).
+        checkpoint_dir: When set, every campaign snapshots completed
+            trials to ``<dir>/<fingerprint>.jsonl``.
+        resume: Skip trial indices already present in a campaign's
+            checkpoint file (requires ``checkpoint_dir``).
     """
 
     trials: int = 300
     scale: str = "reduced"
     seed: int = 0
     jobs: int = 1
+    trial_timeout: float | None = None
+    max_retries: int = 2
+    max_error_frac: float = 0.0
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -48,14 +63,36 @@ class ExperimentConfig:
 _campaign_cache: dict[CampaignSpec, CampaignResult] = {}
 
 
-def campaign(spec: CampaignSpec, jobs: int = 1) -> CampaignResult:
+def campaign(spec: CampaignSpec, jobs: int = 1, cfg: ExperimentConfig | None = None) -> CampaignResult:
     """Run (or reuse) a campaign; memoized per spec within the process.
 
     Several experiments share identical campaigns (e.g. Figure 3's rates
     feed Table 6's FIT calculation); the memo avoids re-running them.
+
+    Args:
+        spec: Campaign to run.
+        jobs: Worker processes; superseded by ``cfg.jobs`` when ``cfg``
+            is given.
+        cfg: When given, its resilience knobs (timeout, retries, error
+            budget, checkpointing) are applied to the run.
     """
     cached = _campaign_cache.get(spec)
     if cached is None:
-        cached = run_campaign(spec, jobs=jobs)
+        kwargs: dict = {}
+        if cfg is not None:
+            jobs = cfg.jobs
+            kwargs = dict(
+                trial_timeout=cfg.trial_timeout,
+                max_retries=cfg.max_retries,
+                max_error_frac=cfg.max_error_frac,
+            )
+            if cfg.checkpoint_dir is not None:
+                from repro.core.checkpoint import campaign_fingerprint
+
+                kwargs["checkpoint"] = (
+                    Path(cfg.checkpoint_dir) / f"{campaign_fingerprint(spec)}.jsonl"
+                )
+                kwargs["resume"] = cfg.resume
+        cached = run_campaign(spec, jobs=jobs, **kwargs)
         _campaign_cache[spec] = cached
     return cached

@@ -59,7 +59,7 @@ def run(cfg: ExperimentConfig) -> dict:
             n_trials=cfg.trials, scale=cfg.scale, seed=cfg.seed,
             with_detection=True,
         )
-        dp_result = campaign(dp_spec, jobs=cfg.jobs)
+        dp_result = campaign(dp_spec, cfg=cfg)
         datapath_sdc = {"datapath": dp_result.sdc_rate("sdc1").p}
 
         buffer_sdc: dict[str, float] = {}
@@ -71,7 +71,7 @@ def run(cfg: ExperimentConfig) -> dict:
                 n_trials=cfg.trials, scale=cfg.scale, seed=cfg.seed + 300,
                 with_detection=True,
             )
-            result = campaign(spec, jobs=cfg.jobs)
+            result = campaign(spec, cfg=cfg)
             buffer_sdc[component] = result.sdc_rate("sdc1").p
             q = result.detection_quality("sdc1")
             tp += q.true_positives

@@ -46,7 +46,7 @@ def run(cfg: ExperimentConfig) -> dict:
             network=name, dtype=DTYPE, n_trials=cfg.trials,
             scale=cfg.scale, seed=cfg.seed + 50, record_propagation=True,
         )
-        result = campaign(spec, jobs=cfg.jobs)
+        result = campaign(spec, cfg=cfg)
         sdc = result.sdc_rate("sdc1")
         prop = result.propagation_rate()
         pools = sum(1 for l in net.layers if l.kind == "pool")

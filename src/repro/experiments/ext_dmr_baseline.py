@@ -35,7 +35,7 @@ def run(cfg: ExperimentConfig) -> dict:
                 scale=cfg.scale, seed=cfg.seed + 700,
                 with_detection=True, detector_kind=kind,
             )
-            q = campaign(spec, jobs=cfg.jobs).detection_quality("sdc1")
+            q = campaign(spec, cfg=cfg).detection_quality("sdc1")
             row[kind] = {
                 "precision": q.precision,
                 "recall": q.recall,

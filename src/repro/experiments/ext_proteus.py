@@ -48,8 +48,8 @@ def run(cfg: ExperimentConfig) -> dict:
             n_trials=cfg.trials, scale=cfg.scale, seed=cfg.seed + 600,
             storage_dtype=STORAGE_DTYPE,
         )
-        wide_sdc = campaign(wide_spec, jobs=cfg.jobs).sdc_rate().p
-        proteus_sdc = campaign(proteus_spec, jobs=cfg.jobs).sdc_rate().p
+        wide_sdc = campaign(wide_spec, cfg=cfg).sdc_rate().p
+        proteus_sdc = campaign(proteus_spec, cfg=cfg).sdc_rate().p
         spec16 = EYERISS_16NM.buffer_named(component)
         # Eyeriss's table sizes assume 16-bit words; a 32-bit design
         # doubles them, Proteus keeps the 16-bit storage footprint.

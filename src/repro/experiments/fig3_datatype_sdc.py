@@ -36,7 +36,7 @@ def run(cfg: ExperimentConfig) -> dict:
                 scale=cfg.scale,
                 seed=cfg.seed,
             )
-            result = campaign(spec, jobs=cfg.jobs)
+            result = campaign(spec, cfg=cfg)
             per_dtype[dtype] = {
                 c: (r.p, r.ci95_halfwidth, r.n) for c, r in result.sdc_rates().items()
             }

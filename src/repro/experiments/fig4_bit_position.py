@@ -53,7 +53,7 @@ def per_bit_rates(
             seed=cfg.seed + bit,
             bit=bit,
         )
-        r = campaign(spec, jobs=cfg.jobs).sdc_rate("sdc1")
+        r = campaign(spec, cfg=cfg).sdc_rate("sdc1")
         rates[bit] = (r.p, r.ci95_halfwidth, r.n)
     return rates
 

@@ -38,7 +38,7 @@ def run(cfg: ExperimentConfig) -> dict:
         scale=cfg.scale,
         seed=cfg.seed,
     )
-    result = campaign(spec, jobs=cfg.jobs)
+    result = campaign(spec, cfg=cfg)
     network = get_network(NETWORK, cfg.scale)
     profile = profile_ranges(network, eval_inputs(NETWORK, 3, cfg.scale, seed=100), scope="all")
     lo = min(r.lo for r in profile.ranges.values())

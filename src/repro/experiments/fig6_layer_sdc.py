@@ -41,7 +41,7 @@ def run(cfg: ExperimentConfig) -> dict:
                 seed=cfg.seed + 1000 + li,
                 layer_index=li,
             )
-            r = campaign(spec, jobs=cfg.jobs).sdc_rate("sdc1")
+            r = campaign(spec, cfg=cfg).sdc_rate("sdc1")
             per_block[block] = (r.p, r.ci95_halfwidth, r.n, kinds[block])
         out["layers"][network_name] = per_block
     return out

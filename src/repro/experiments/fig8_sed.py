@@ -43,7 +43,7 @@ def run(cfg: ExperimentConfig) -> dict:
                     seed=cfg.seed + 800,
                     with_detection=True,
                 )
-                q = campaign(spec, jobs=cfg.jobs).detection_quality("sdc1")
+                q = campaign(spec, cfg=cfg).detection_quality("sdc1")
                 tp += q.true_positives
                 fp += q.false_positives
                 total_sdc += q.total_sdc

@@ -106,6 +106,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (0 = all cores)")
     parser.add_argument("--out", default=None, help="directory for JSON/text artifacts")
+    resilience = parser.add_argument_group("resilience (docs/resilience.md)")
+    resilience.add_argument("--trial-timeout", type=float, default=None, metavar="SEC",
+                            help="per-trial time budget; hung chunks are killed and retried")
+    resilience.add_argument("--max-retries", type=int, default=2, metavar="N",
+                            help="retry budget per failing chunk before bisection/quarantine")
+    resilience.add_argument("--max-error-frac", type=float, default=0.0, metavar="F",
+                            help="abort a campaign once more than this fraction of trials "
+                                 "is quarantined")
+    resilience.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                            help="snapshot each campaign to <DIR>/<fingerprint>.jsonl")
+    resilience.add_argument("--resume", action="store_true",
+                            help="skip trials already recorded under --checkpoint-dir")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -113,8 +125,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{exp_id:8s} {module.TITLE}")
         return 0
 
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+
     cfg = ExperimentConfig(
-        trials=args.trials, scale=args.scale, seed=args.seed, jobs=args.jobs
+        trials=args.trials, scale=args.scale, seed=args.seed, jobs=args.jobs,
+        trial_timeout=args.trial_timeout, max_retries=args.max_retries,
+        max_error_frac=args.max_error_frac, checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:

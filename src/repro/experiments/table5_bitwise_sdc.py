@@ -47,7 +47,7 @@ def run(cfg: ExperimentConfig) -> dict:
             layer_index=li,
             record_propagation=True,
         )
-        result = campaign(spec, jobs=cfg.jobs)
+        result = campaign(spec, cfg=cfg)
         prop = result.propagation_rate()
         rows[block] = (prop.p, prop.ci95_halfwidth, prop.n)
         total_masked += 1.0 - prop.p

@@ -54,7 +54,7 @@ def run(cfg: ExperimentConfig) -> dict:
                 scale=cfg.scale,
                 seed=cfg.seed,
             )
-            result = campaign(spec, jobs=cfg.jobs)
+            result = campaign(spec, cfg=cfg)
             sdc = result.sdc_rate("sdc1").p
             dp = DatapathModel(n_pes=EYERISS_16NM.n_pes, data_width=get_dtype(dtype_name).width)
             total_fit = sum(c.fit for c in datapath_fit(dp, {"datapath": sdc}))

@@ -46,7 +46,7 @@ def run(cfg: ExperimentConfig) -> dict:
                 scale=cfg.scale,
                 seed=cfg.seed + 300,
             )
-            result = campaign(spec, jobs=cfg.jobs)
+            result = campaign(spec, cfg=cfg)
             rate = result.sdc_rate("sdc1")
             fit = buffer_fit(EYERISS_16NM.buffer_named(component), rate.p).fit
             per_component[component] = (rate.p, rate.ci95_halfwidth, fit)

@@ -57,16 +57,16 @@ class TestRegistry:
     def test_ids_are_stable_and_unique(self):
         rule_ids = [rule.id for rule in all_rules()]
         assert len(rule_ids) == len(set(rule_ids))
-        assert {"RP101", "RP102", "RP103", "RP201", "RP202", "RP203",
-                "RP301", "RP401", "RP402", "RP501", "RP502", "RP503"} <= set(rule_ids)
+        assert {"RP101", "RP102", "RP103", "RP104", "RP201", "RP202", "RP203",
+                "RP301", "RP302", "RP401", "RP402", "RP501", "RP502", "RP503"} <= set(rule_ids)
 
     def test_get_rule_unknown_raises(self):
         with pytest.raises(KeyError):
             get_rule("RP999")
 
     def test_expand_family_selector(self):
-        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103"}
-        assert expand_ids(["RP3xx"]) == {"RP301"}
+        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103", "RP104"}
+        assert expand_ids(["RP3xx"]) == {"RP301", "RP302"}
         with pytest.raises(KeyError):
             expand_ids(["RP9"])
 
@@ -121,6 +121,30 @@ class TestDeterminismRules:
             relpath="repro/core/mod.py",
         )
         assert "RP103" not in ids(findings)
+
+    def test_rp104_sleep_scoped_to_campaign_paths(self, tmp_path):
+        code = """
+        __all__ = []
+        import time
+
+        def backoff():
+            time.sleep(0.5)
+        """
+        inside = lint_snippet(tmp_path, code, relpath="repro/utils/parallel.py")
+        outside = lint_snippet(tmp_path, code, relpath="repro/zoo/mod.py")
+        assert "RP104" in ids(inside)
+        assert "RP104" not in ids(outside)
+
+    def test_rp104_noqa_exemption(self, tmp_path):
+        code = """
+        __all__ = []
+        import time
+
+        def backoff(delay):
+            time.sleep(delay)  # repro: noqa[RP104]
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP104" not in ids(findings)
 
 
 class TestDtypeRules:
@@ -215,6 +239,29 @@ class TestAtomicityRule:
             tmp.replace(path)
         """
         assert "RP301" not in ids(lint_snippet(tmp_path, code))
+
+    def test_rp302_unique_temp_without_publish(self, tmp_path):
+        code = """
+        __all__ = []
+        import os
+
+        def save(path, data):
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(data)
+        """
+        assert "RP302" in ids(lint_snippet(tmp_path, code))
+
+    def test_rp302_published_temp_clean(self, tmp_path):
+        code = """
+        __all__ = []
+        import os
+
+        def save(path, data):
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(data)
+            os.replace(tmp, path)
+        """
+        assert "RP302" not in ids(lint_snippet(tmp_path, code))
 
 
 class TestRegistrySyncRules:

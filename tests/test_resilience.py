@@ -1,0 +1,285 @@
+"""Resilient execution: supervised pool, quarantine, checkpoint/resume.
+
+The supervised-pool tests drive :func:`repro.utils.parallel.map_trials`
+with deliberately hostile tasks (worker ``os._exit``, wedged sleeps,
+raising trials); the campaign tests drive :func:`run_campaign` through
+the ``REPRO_CAMPAIGN_FAULT`` meta-injection hook and assert the paper's
+core reproducibility property survives every failure: trial ``i`` is a
+pure function of ``(spec, i)``, so quarantine and resume never perturb
+the surviving trials.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignAbortedError,
+    CampaignSpec,
+    run_campaign,
+)
+from repro.core.checkpoint import (
+    CheckpointMismatchError,
+    CheckpointWriter,
+    campaign_fingerprint,
+    load_checkpoint,
+)
+from repro.core.serialize import campaign_summary, to_jsonable
+from repro.core.tracing import EventRecorder
+from repro.utils.parallel import TrialFailure, map_trials
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Captured at import in the parent; forked workers inherit it, so tasks
+#: can distinguish "running in a pool worker" from "running inline".
+MAIN_PID = os.getpid()
+
+#: Fast supervision knobs shared by the pool tests (real backoff would
+#: dominate test wall-time).
+FAST = dict(backoff_base=0.01, backoff_cap=0.02)
+
+
+def _square_task():
+    return lambda i: i * i
+
+
+def _crash7_task():
+    def task(i):
+        if i == 7 and os.getpid() != MAIN_PID:
+            os._exit(41)
+        return i * i
+
+    return task
+
+
+def _worker_crash_task():
+    def task(i):
+        if os.getpid() != MAIN_PID:
+            os._exit(13)
+        return i + 100
+
+    return task
+
+
+def _hang5_task():
+    def task(i):
+        if i == 5:
+            time.sleep(600.0)
+        return i
+
+    return task
+
+
+def _raise3_task():
+    def task(i):
+        if i == 3:
+            raise ValueError("poison trial")
+        return i
+
+    return task
+
+
+class TestSupervisedPool:
+    def test_crashing_worker_quarantines_exactly_the_poison_trial(self):
+        kinds = []
+        results = map_trials(
+            _crash7_task, 12, jobs=2, chunk=4, max_retries=1,
+            on_event=lambda kind, detail: kinds.append(kind), **FAST,
+        )
+        failure = results[7]
+        assert isinstance(failure, TrialFailure)
+        assert failure.index == 7 and failure.reason == "crash"
+        # Every innocent chunk-mate of trial 7 still completed.
+        assert [r for i, r in enumerate(results) if i != 7] == [
+            i * i for i in range(12) if i != 7
+        ]
+        assert "bisect" in kinds and "quarantine" in kinds and "rebuild" in kinds
+
+    def test_hanging_trial_hits_deadline_and_is_quarantined(self):
+        kinds = []
+        results = map_trials(
+            _hang5_task, 8, jobs=2, chunk=4, max_retries=0,
+            timeout=0.2, timeout_grace=1.0,
+            on_event=lambda kind, detail: kinds.append(kind), **FAST,
+        )
+        failure = results[5]
+        assert isinstance(failure, TrialFailure)
+        assert failure.index == 5 and failure.reason == "timeout"
+        assert [r for i, r in enumerate(results) if i != 5] == [
+            i for i in range(8) if i != 5
+        ]
+        assert "timeout" in kinds
+
+    def test_raising_trial_does_not_poison_chunk_mates(self):
+        results = map_trials(_raise3_task, 10, jobs=2, chunk=5, max_retries=1, **FAST)
+        failure = results[3]
+        assert isinstance(failure, TrialFailure)
+        assert failure.reason == "error" and failure.exc_type == "ValueError"
+        assert "poison trial" in failure.message
+        assert failure.attempts == 2  # original run + one retry
+        assert [r for i, r in enumerate(results) if i != 3] == [
+            i for i in range(10) if i != 3
+        ]
+
+    def test_degrades_to_inline_when_pool_never_completes_a_chunk(self):
+        kinds = []
+        results = map_trials(
+            _worker_crash_task, 6, jobs=2, chunk=2, max_retries=0, max_rebuilds=1,
+            on_event=lambda kind, detail: kinds.append(kind), **FAST,
+        )
+        # Inline fallback runs in the parent, where the task succeeds.
+        assert results == [i + 100 for i in range(6)]
+        assert "degrade" in kinds
+
+    def test_explicit_indices_run_the_gap_set(self):
+        assert map_trials(_square_task, 0, jobs=1, indices=[3, 9, 4]) == [9, 81, 16]
+
+    def test_on_result_streams_inline_results(self):
+        seen = []
+        map_trials(_square_task, 4, jobs=1, on_result=lambda i, v: seen.append((i, v)))
+        assert seen == [(0, 0), (1, 1), (2, 4), (3, 9)]
+
+
+SPEC = CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=12, seed=3)
+
+
+def _records_key(result):
+    """Bit-identity key over trial records (nan-safe via to_jsonable)."""
+    return json.dumps(to_jsonable(result.records), sort_keys=True)
+
+
+class TestCampaignResilience:
+    def test_parallel_campaign_survives_worker_crash(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "crash:7")
+        result = run_campaign(
+            SPEC, jobs=2, chunk=4, max_retries=1, max_error_frac=0.2,
+            backoff_base=0.02, backoff_cap=0.05,
+        )
+        assert len(result.records) == 11
+        assert [(e.index, e.reason) for e in result.errors] == [(7, "crash")]
+        assert result.stats.quarantined == 1
+        assert result.stats.rebuilds >= 1
+
+    def test_parallel_campaign_survives_hang(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "hang:3:600")
+        result = run_campaign(
+            SPEC, jobs=2, chunk=4, max_retries=0, max_error_frac=0.2,
+            trial_timeout=0.5, timeout_grace=3.0,
+            backoff_base=0.02, backoff_cap=0.05,
+        )
+        assert len(result.records) == 11
+        assert [(e.index, e.reason) for e in result.errors] == [(3, "timeout")]
+        assert result.stats.timeouts >= 1
+
+    def test_surviving_trials_match_clean_run(self, monkeypatch):
+        clean = run_campaign(SPEC)
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:5")
+        faulty = run_campaign(SPEC, max_error_frac=0.2, max_retries=1)
+        assert [(e.index, e.reason, e.exc_type) for e in faulty.errors] == [
+            (5, "error", "RuntimeError")
+        ]
+        # Clean records are in trial order, so dropping trial 5 must leave
+        # exactly the faulty run's surviving records.
+        surviving = [r for i, r in enumerate(clean.records) if i != 5]
+        assert json.dumps(to_jsonable(faulty.records), sort_keys=True) == json.dumps(
+            to_jsonable(surviving), sort_keys=True
+        )
+
+    def test_error_budget_aborts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:5")
+        with pytest.raises(CampaignAbortedError):
+            run_campaign(SPEC, max_error_frac=0.0)
+
+    def test_events_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:5")
+        recorder = EventRecorder()
+        run_campaign(SPEC, max_error_frac=0.2, events=recorder)
+        assert recorder.count("quarantine") == 1
+        assert any(event.kind == "quarantine" for event in recorder.events)
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical_to_uninterrupted_run(self, tmp_path):
+        reference = run_campaign(SPEC)
+        # Simulate a kill at ~50%: checkpoint holding only the first half.
+        path = tmp_path / "half.jsonl"
+        writer = CheckpointWriter(path, SPEC)
+        for trial, record in enumerate(reference.records[:6]):
+            writer.add_record(trial, record)
+        writer.flush()
+
+        resumed = run_campaign(SPEC, checkpoint=path, resume=True)
+        assert resumed.stats.resumed == 6
+        assert _records_key(resumed) == _records_key(reference)
+        ref_summary = campaign_summary(reference)
+        res_summary = campaign_summary(resumed)
+        ref_summary.pop("execution"), res_summary.pop("execution")
+        assert res_summary == ref_summary
+
+    def test_checkpoint_round_trips_records(self, tmp_path):
+        reference = run_campaign(SPEC)
+        path = tmp_path / "full.jsonl"
+        writer = CheckpointWriter(path, SPEC)
+        for trial, record in enumerate(reference.records):
+            writer.add_record(trial, record)
+        writer.flush()
+        state = load_checkpoint(path, spec=SPEC)
+        assert state is not None and state.n_completed == SPEC.n_trials
+        reloaded = [state.records[i] for i in sorted(state.records)]
+        assert json.dumps(to_jsonable(reloaded), sort_keys=True) == _records_key(reference)
+
+    def test_mismatched_spec_is_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointWriter(path, SPEC).flush()
+        other = CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=12, seed=4)
+        assert campaign_fingerprint(other) != campaign_fingerprint(SPEC)
+        with pytest.raises(CheckpointMismatchError):
+            run_campaign(other, checkpoint=path, resume=True)
+
+    def test_missing_checkpoint_resumes_from_scratch(self, tmp_path):
+        result = run_campaign(SPEC, checkpoint=tmp_path / "fresh.jsonl", resume=True)
+        assert result.stats.resumed == 0
+        assert len(result.records) == SPEC.n_trials
+
+    def test_kill_midflight_then_resume_bit_identical(self, tmp_path):
+        """End-to-end: SIGKILL a live checkpointing campaign, then resume."""
+        spec = CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=30, seed=5)
+        path = tmp_path / "killed.jsonl"
+        env = dict(os.environ)
+        env["REPRO_CAMPAIGN_FAULT"] = "slow:*:0.05"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.core.cli",
+             "--network", "ConvNet", "--trials", "30", "--seed", "5",
+             "--checkpoint", str(path), "--checkpoint-every", "4"],
+            env=env, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Kill as soon as a flush proves the campaign is mid-flight.
+            deadline = time.perf_counter() + 60.0
+            while time.perf_counter() < deadline and not path.exists():
+                time.sleep(0.05)
+                if proc.poll() is not None:
+                    pytest.fail("campaign finished before it could be killed")
+            assert path.exists(), "no checkpoint appeared before the deadline"
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        state = load_checkpoint(path, spec=spec)
+        assert state is not None and 0 < state.n_completed < spec.n_trials
+
+        resumed = run_campaign(spec, checkpoint=path, resume=True)
+        reference = run_campaign(spec)
+        assert resumed.stats.resumed == state.n_completed
+        assert _records_key(resumed) == _records_key(reference)

@@ -4,7 +4,7 @@ import json
 
 import numpy as np
 from repro.core.campaign import CampaignSpec, run_campaign
-from repro.core.serialize import campaign_summary, load_json, save_json, to_jsonable
+from repro.core.serialize import campaign_summary, from_jsonable, load_json, save_json, to_jsonable
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.runner import run_experiment
 
@@ -35,6 +35,28 @@ class TestToJsonable:
     def test_roundtrips_through_json(self):
         obj = {"x": np.float64(1.5), "y": [np.int32(2), float("nan")]}
         json.dumps(to_jsonable(obj))  # must not raise
+
+
+class TestFromJsonable:
+    def test_restores_nonfinite_strings(self):
+        assert np.isnan(from_jsonable("nan"))
+        assert from_jsonable("inf") == float("inf")
+        assert from_jsonable("-inf") == float("-inf")
+
+    def test_recurses_containers(self):
+        out = from_jsonable({"a": ["inf", 1.5], "b": {"c": "-inf"}})
+        assert out["a"] == [float("inf"), 1.5]
+        assert out["b"]["c"] == float("-inf")
+
+    def test_ordinary_values_untouched(self):
+        obj = {"s": "nano", "n": 3, "f": 0.25, "none": None, "b": True}
+        assert from_jsonable(obj) == obj
+
+    def test_inverts_to_jsonable_floats(self):
+        original = {"x": float("nan"), "y": [float("inf"), 2.0]}
+        restored = from_jsonable(json.loads(json.dumps(to_jsonable(original))))
+        assert np.isnan(restored["x"])
+        assert restored["y"] == [float("inf"), 2.0]
 
 
 class TestCampaignSummary:

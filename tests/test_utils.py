@@ -56,9 +56,16 @@ class TestTables:
 class TestParallel:
     def test_effective_jobs(self):
         assert effective_jobs(4) == 4
-        assert effective_jobs(-3) == 1
         assert effective_jobs(None) >= 1
         assert effective_jobs(0) >= 1
+
+    def test_effective_jobs_negative_raises(self):
+        with pytest.raises(ValueError, match="jobs"):
+            effective_jobs(-3)
+
+    def test_chunk_validated(self):
+        with pytest.raises(ValueError, match="chunk"):
+            map_trials(_square_factory, 5, jobs=1, chunk=0)
 
     def test_inline_path(self):
         results = map_trials(lambda: (lambda i: i * i), 5, jobs=1)
