@@ -4,11 +4,18 @@ Each benchmark regenerates one table/figure of the paper (printing the
 paper-style rows) while pytest-benchmark times the cold run.  Campaigns
 inside one benchmark run are memoized per-process, so a single timed
 round reflects the real cost.
+
+Timings are also captured into a :class:`repro.obs.metrics.MetricsRegistry`
+and persisted at session end as ``benchmarks/BENCH_<date>.json`` — a
+plain metrics snapshot, so historical runs can be merged or diffed with
+the same tooling as campaign metrics (``merge_snapshots``, ``repro-obs``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -18,15 +25,56 @@ os.environ.setdefault(
     str(Path(__file__).resolve().parent.parent / ".cache" / "repro-weights"),
 )
 
+BENCH_DIR = Path(__file__).resolve().parent
+
+_metrics = None
+
+
+def _registry():
+    global _metrics
+    if _metrics is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        _metrics = MetricsRegistry()
+    return _metrics
+
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Time exactly one cold execution of ``fn`` and return its result."""
 
     def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        registry = _registry()
+        start = time.perf_counter()
+        try:
+            return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        finally:
+            registry.time_span(f"bench/{request.node.name}", time.perf_counter() - start)
+            registry.inc("benchmarks")
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the session's benchmark timings as a metrics snapshot."""
+    del session
+    if _metrics is None:
+        return
+    _metrics.inc("exitstatus/nonzero" if exitstatus else "exitstatus/zero")
+    snapshot = _metrics.snapshot()
+    payload = {
+        "format": "repro-bench-metrics",
+        "version": 1,
+        "date": time.strftime("%Y-%m-%d"),
+        "snapshot": snapshot,
+    }
+    out_path = BENCH_DIR / f"BENCH_{payload['date']}.json"
+    try:
+        from repro.core.checkpoint import atomic_write_text
+
+        atomic_write_text(out_path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        pass  # a read-only checkout must not fail the benchmark run
 
 
 def pytest_collection_modifyitems(config, items):

@@ -9,13 +9,16 @@ Recognised keys (all optional)::
     campaign-paths = ["repro/core", "repro/experiments"]
     dtype-paths = ["repro/dtypes", "repro/nn"]
     kernel-paths = ["repro/dtypes/fixedpoint.py"]
+    library-paths = ["repro"]
+    print-exempt-paths = ["repro/core/cli.py", "repro/obs/cli.py"]
 
-The three ``*-paths`` keys scope the path-sensitive rule families:
-wall-clock reads (RP103) are only an error inside campaign paths, missing
+The ``*-paths`` keys scope the path-sensitive rule families: wall-clock
+reads (RP103) are only an error inside campaign paths, missing
 ``dtype=`` (RP202) inside numeric packages, bare-float arithmetic (RP203)
-inside fixed-point kernels.  Path values match as posix fragments against
-each linted file's path, so ``repro/core`` matches any layout that nests
-the package (``src/repro/core/...``).
+inside fixed-point kernels, and bare ``print()`` (RP105) inside library
+paths *except* the print-exempt CLI/reporter modules.  Path values match
+as posix fragments against each linted file's path, so ``repro/core``
+matches any layout that nests the package (``src/repro/core/...``).
 """
 
 from __future__ import annotations
@@ -47,6 +50,14 @@ class LintConfig:
     )
     dtype_paths: tuple[str, ...] = ("repro/dtypes", "repro/nn")
     kernel_paths: tuple[str, ...] = ("repro/dtypes/fixedpoint.py",)
+    library_paths: tuple[str, ...] = ("repro",)
+    print_exempt_paths: tuple[str, ...] = (
+        "repro/core/cli.py",
+        "repro/experiments/runner.py",
+        "repro/analysis/cli.py",
+        "repro/obs/cli.py",
+        "repro/obs/progress.py",
+    )
     config_file: str | None = field(default=None, compare=False)
 
     def scope(self, key: str) -> tuple[str, ...]:

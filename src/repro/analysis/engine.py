@@ -152,6 +152,8 @@ def lint_paths(
         for rule in file_rules:
             if rule.scope_key is not None and not ctx.in_scope(config.scope(rule.scope_key)):
                 continue
+            if rule.exempt_key is not None and ctx.in_scope(config.scope(rule.exempt_key)):
+                continue
             findings.extend(f for f in rule.check(ctx) if not _suppressed(ctx, f))
 
     project = ProjectContext(files=contexts, config=config)

@@ -37,12 +37,17 @@ class Rule:
         scope_key: Optional :class:`~repro.analysis.config.LintConfig`
             attribute naming the path prefixes the rule is confined to;
             None applies the rule to every linted file.
+        exempt_key: Optional :class:`~repro.analysis.config.LintConfig`
+            attribute naming path prefixes the rule *skips* even inside
+            its scope (e.g. RP105 exempts CLI/reporter modules whose job
+            is to print).  Applied after ``scope_key``.
     """
 
     id: str = ""
     name: str = ""
     summary: str = ""
     scope_key: str | None = None
+    exempt_key: str | None = None
 
     def check(self, ctx: "FileContext") -> Iterator["Finding"]:
         """Yield findings for one parsed file."""

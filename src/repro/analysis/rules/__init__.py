@@ -5,7 +5,15 @@ from repro.analysis.rules import (
     atomicity,
     determinism,
     dtype_safety,
+    observability,
     registry_sync,
 )
 
-__all__ = ["api_hygiene", "atomicity", "determinism", "dtype_safety", "registry_sync"]
+__all__ = [
+    "api_hygiene",
+    "atomicity",
+    "determinism",
+    "dtype_safety",
+    "observability",
+    "registry_sync",
+]

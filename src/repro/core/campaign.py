@@ -35,6 +35,13 @@ from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
 from repro.core.stats import RateEstimate
 from repro.core.tracing import EventRecorder
 from repro.dtypes.registry import get_dtype
+from repro.obs.metrics import (
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    merge_timing,
+)
+from repro.obs.spans import enable_spans, span, timing_snapshot
 from repro.utils.parallel import TrialFailure, exc_summary, map_trials
 from repro.utils.rng import child_rng
 from repro.zoo.registry import eval_inputs, get_network
@@ -46,6 +53,7 @@ __all__ = [
     "ExecutionStats",
     "CampaignAbortedError",
     "CampaignResult",
+    "record_trial_metrics",
     "run_campaign",
 ]
 
@@ -207,13 +215,18 @@ class CampaignResult:
     ``records`` holds successfully classified trials only; trials the
     resilient runner had to quarantine appear in ``errors`` and are
     excluded from every aggregation (their outcomes are unknown, not
-    non-SDC).  ``stats`` reports what the harness survived.
+    non-SDC).  ``stats`` reports what the harness survived.  ``metrics``
+    is the merged observability snapshot (see :mod:`repro.obs.metrics`):
+    its ``counters``/``histograms`` sections are deterministic — the
+    same for any ``jobs`` value and across kill/resume — while anything
+    wall-clock lives under its ``timing`` key.
     """
 
     spec: CampaignSpec
     records: list[TrialRecord] = field(default_factory=list)
     errors: list[TrialError] = field(default_factory=list)
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    metrics: dict = field(default_factory=empty_snapshot)
 
     # -- basic counts ----------------------------------------------------- #
     @property
@@ -309,7 +322,37 @@ class CampaignResult:
             records=self.records + other.records,
             errors=self.errors + other.errors,
             stats=self.stats.merge(other.stats),
+            metrics=merge_snapshots(self.metrics, other.metrics),
         )
+
+
+def record_trial_metrics(metrics: MetricsRegistry, record: TrialRecord) -> None:
+    """Fold one classified trial into the deterministic metric counters.
+
+    Touches integer counters and a fixed-bucket histogram only, so a
+    parent merging per-worker delta snapshots in any completion order —
+    or replaying checkpointed records after a resume — reaches totals
+    byte-identical to a serial run (see ``docs/observability.md``).
+    """
+    metrics.inc("trials")
+    outcome = record.outcome
+    if outcome.masked:
+        metrics.inc("outcome/masked")
+    for cls in SDC_CLASSES:
+        if outcome.flag(cls):
+            metrics.inc(f"outcome/{cls}")
+    metrics.inc(f"site/{record.site}")
+    metrics.inc(f"block/{record.block}")
+    metrics.inc(f"bit/{record.bit}")
+    if record.detected is not None:
+        metrics.inc("detected/true" if record.detected else "detected/false")
+    if record.reached_output:
+        metrics.inc("reached_output")
+    value = float(record.value_after)
+    if np.isfinite(value):
+        metrics.observe("abs_value_after", abs(value))
+    else:
+        metrics.inc("value_after/nonfinite")
 
 
 def _maybe_test_fault(trial: int) -> None:
@@ -358,18 +401,20 @@ class _CampaignTask:
         self.network = get_network(spec.network, spec.scale)
         self.network.prepare(self.dtype)
         inputs = eval_inputs(spec.network, spec.n_inputs, spec.scale, seed=100)
-        self.goldens = [
-            self.network.forward(
-                x, dtype=self.dtype, record=True, storage_dtype=self.storage_dtype
-            )
-            for x in inputs
-        ]
+        with span("golden_infer"):
+            self.goldens = [
+                self.network.forward(
+                    x, dtype=self.dtype, record=True, storage_dtype=self.storage_dtype
+                )
+                for x in inputs
+            ]
         self.detector: SymptomDetector | None = None
         if spec.with_detection and spec.detector_kind == "sed":
             learn_x = eval_inputs(spec.network, spec.sed_learn_inputs, spec.scale, seed=200)
-            self.detector = learn_detector(
-                self.network, learn_x, dtype=self.dtype, cushion=spec.sed_cushion
-            )
+            with span("learn_detector"):
+                self.detector = learn_detector(
+                    self.network, learn_x, dtype=self.dtype, cushion=spec.sed_cushion
+                )
         self.occupancy = None
         if spec.occupancy_weighted:
             from repro.accel.eyeriss import EYERISS_16NM
@@ -461,14 +506,30 @@ class _CampaignTask:
 
 class _SafeTrialTask:
     """Per-worker wrapper: an exception inside a trial becomes a
-    quarantined :class:`TrialError` instead of poisoning the chunk."""
+    quarantined :class:`TrialError` instead of poisoning the chunk.
 
-    def __init__(self, spec: CampaignSpec):
+    Also the per-worker observability surface.  Successful trials fold
+    into a process-local :class:`MetricsRegistry`; :meth:`collect_obs`
+    takes a *delta* snapshot that travels back in the same message as the
+    chunk's results (see ``repro.utils.parallel``), so a crashed or
+    timed-out chunk loses its metrics and its records together — retries
+    can never double-count.  Quarantined trials increment nothing: the
+    registry counts classified outcomes only, which is what keeps serial,
+    parallel and resumed totals byte-identical.
+    """
+
+    def __init__(self, spec: CampaignSpec, spans: bool = False):
+        if spans:
+            # Before _CampaignTask so golden_infer / learn_detector and
+            # the per-layer forward spans inside them are captured.
+            enable_spans()
+        self.metrics = MetricsRegistry()
         self.task = _CampaignTask(spec)
 
     def __call__(self, trial: int) -> TrialRecord | TrialError:
         try:
-            return self.task(trial)
+            with span("trial"):
+                record = self.task(trial)
         except Exception as exc:
             return TrialError(
                 index=trial,
@@ -477,6 +538,14 @@ class _SafeTrialTask:
                 message=exc_summary(exc),
                 site=self.task.last_site,
             )
+        record_trial_metrics(self.metrics, record)
+        return record
+
+    def collect_obs(self) -> dict:
+        """Delta snapshot of metrics plus span timings since last call."""
+        snap = self.metrics.snapshot(reset=True)
+        snap["timing"] = merge_timing(snap["timing"], timing_snapshot(reset=True))
+        return snap
 
 
 def run_campaign(
@@ -494,6 +563,11 @@ def run_campaign(
     backoff_cap: float = 8.0,
     timeout_grace: float = 5.0,
     events: EventRecorder | None = None,
+    metrics: MetricsRegistry | None = None,
+    spans: bool = False,
+    manifest: str | Path | None = None,
+    run_log: str | Path | None = None,
+    progress_every: float = 0.0,
 ) -> CampaignResult:
     """Execute a campaign resiliently, optionally across a process pool.
 
@@ -527,8 +601,29 @@ def run_campaign(
             retry/rebuild/quarantine/resume events (a fresh one is used
             when None; note ``stats`` counts reflect every emission the
             recorder has seen).
+        metrics: :class:`~repro.obs.metrics.MetricsRegistry` that worker
+            delta snapshots merge into (a fresh one when None).  Resumed
+            checkpoint records are replayed into it, so a resumed run's
+            totals equal an uninterrupted run's.
+        spans: Enable hierarchical timing spans — in this process and in
+            every worker (``trial``, ``golden_infer``, per-layer forward,
+            injection phases).  Off by default; the disabled path is a
+            single flag check.
+        manifest: Run-manifest JSON path.  When None and ``checkpoint``
+            is set, defaults to ``<checkpoint>.manifest.json`` next to
+            it (see :func:`repro.obs.manifest.default_obs_paths`).
+        run_log: Structured JSONL run-log path; same defaulting rule
+            (``<checkpoint>.runlog.jsonl``).
+        progress_every: Seconds between ``progress`` events on the
+            recorder (throughput / ETA material for a
+            :class:`~repro.obs.progress.ProgressReporter` sink); 0
+            disables periodic emission.  A final ``progress`` event is
+            emitted either way when any trials ran.
     """
     recorder = events if events is not None else EventRecorder()
+    registry = metrics if metrics is not None else MetricsRegistry()
+    if spans:
+        enable_spans()
     writer = None
     done: dict[int, TrialRecord | TrialError] = {}
     resumed = 0
@@ -544,15 +639,84 @@ def run_campaign(
                 done.update(state.errors)
                 writer.preload(state)
                 resumed = state.n_completed
+                # Replay completed trials into the registry so resumed
+                # totals match an uninterrupted run's exactly.
+                for prior in state.records.values():
+                    record_trial_metrics(registry, prior)
                 recorder.emit("resume", completed=resumed, path=str(checkpoint))
+
+    if checkpoint is not None and (manifest is None or run_log is None):
+        from repro.obs.manifest import default_obs_paths
+
+        auto_manifest, auto_log = default_obs_paths(checkpoint)
+        manifest = manifest if manifest is not None else auto_manifest
+        run_log = run_log if run_log is not None else auto_log
+
+    observer = None
+    if manifest is not None or run_log is not None:
+        from repro.core.checkpoint import campaign_fingerprint
+        from repro.core.serialize import to_jsonable
+        from repro.obs.manifest import RunObserver
+
+        observer = RunObserver(
+            manifest_path=manifest,
+            run_log_path=run_log,
+            kind="campaign",
+            meta={
+                "fingerprint": campaign_fingerprint(spec),
+                "network": spec.network,
+                "dtype": spec.dtype,
+                "target": spec.target,
+                "seed": spec.seed,
+                "n_trials": spec.n_trials,
+                "jobs": jobs,
+                "resumed": resumed > 0,
+                "resumed_trials": resumed,
+                "spec": to_jsonable(spec),
+            },
+        )
+        observer.begin()
+        recorder.add_sink(observer.event_sink)
 
     remaining = [i for i in range(spec.n_trials) if i not in done]
     error_budget = max_error_frac * spec.n_trials
     n_errors = sum(1 for v in done.values() if isinstance(v, TrialError))
     since_flush = 0
+    start = time.perf_counter()
+    last_progress = start
+
+    def emit_progress(final: bool = False) -> None:
+        recorder.emit(
+            "progress",
+            completed=len(done),
+            total=spec.n_trials,
+            completed_here=len(done) - resumed,
+            quarantined=n_errors,
+            elapsed_s=round(time.perf_counter() - start, 3),
+            final=final,
+        )
+
+    def quarantined_total() -> int:
+        return sum(1 for v in done.values() if isinstance(v, TrialError))
+
+    def build_stats() -> ExecutionStats:
+        return ExecutionStats(
+            resumed=resumed,
+            retries=recorder.count("retry"),
+            rebuilds=recorder.count("rebuild"),
+            timeouts=recorder.count("timeout"),
+            bisections=recorder.count("bisect"),
+            quarantined=quarantined_total(),
+            degraded=recorder.count("degrade") > 0,
+        )
+
+    def drain_spans() -> None:
+        # Parent-side span timings (checkpoint flushes, the inline
+        # chunk loop) fold into the same registry as worker timings.
+        registry.merge_snapshot({"timing": timing_snapshot(reset=True)})
 
     def absorb(index: int, value: object) -> None:
-        nonlocal n_errors, since_flush
+        nonlocal n_errors, since_flush, last_progress
         if isinstance(value, TrialFailure):
             # The supervised pool already emitted the quarantine event.
             value = TrialError(
@@ -572,9 +736,15 @@ def run_campaign(
                 writer.add_record(index, value)
             since_flush += 1
             if since_flush >= checkpoint_every:
-                writer.flush()
+                with span("checkpoint_flush"):
+                    writer.flush()
                 since_flush = 0
                 recorder.emit("checkpoint", completed=len(done))
+        if progress_every > 0:
+            now = time.perf_counter()
+            if now - last_progress >= progress_every:
+                last_progress = now
+                emit_progress()
         if n_errors > error_budget:
             if writer is not None:
                 writer.flush()
@@ -589,36 +759,81 @@ def run_campaign(
             )
 
     try:
-        if remaining:
-            # functools.partial (not a lambda) so the factory pickles
-            # into workers.
-            map_trials(
-                partial(_SafeTrialTask, spec),
-                n_trials=0,
-                jobs=jobs,
-                chunk=chunk,
-                indices=remaining,
-                timeout=trial_timeout,
-                timeout_grace=timeout_grace,
-                max_retries=max_retries,
-                backoff_base=backoff_base,
-                backoff_cap=backoff_cap,
-                on_event=recorder.emit,
-                on_result=absorb,
+        try:
+            if remaining:
+                # functools.partial (not a lambda) so the factory pickles
+                # into workers.
+                map_trials(
+                    partial(_SafeTrialTask, spec, spans),
+                    n_trials=0,
+                    jobs=jobs,
+                    chunk=chunk,
+                    indices=remaining,
+                    timeout=trial_timeout,
+                    timeout_grace=timeout_grace,
+                    max_retries=max_retries,
+                    backoff_base=backoff_base,
+                    backoff_cap=backoff_cap,
+                    on_event=recorder.emit,
+                    on_result=absorb,
+                    on_obs=registry.merge_snapshot,
+                )
+        finally:
+            if writer is not None and since_flush:
+                with span("checkpoint_flush"):
+                    writer.flush()
+    except BaseException as exc:
+        if observer is not None:
+            drain_spans()
+            status = "aborted" if isinstance(exc, CampaignAbortedError) else "failed"
+            observer.finish(
+                status=status,
+                stats=_stats_dict(build_stats()),
+                metrics=registry.snapshot(),
+                events=recorder.counts,
+                event_tail=_encode_events(recorder.tail()),
             )
-    finally:
-        if writer is not None and since_flush:
-            writer.flush()
+        raise
 
+    if remaining:
+        emit_progress(final=True)
+    drain_spans()
     records = [v for _, v in sorted(done.items()) if isinstance(v, TrialRecord)]
     errors = [v for _, v in sorted(done.items()) if isinstance(v, TrialError)]
-    stats = ExecutionStats(
-        resumed=resumed,
-        retries=recorder.count("retry"),
-        rebuilds=recorder.count("rebuild"),
-        timeouts=recorder.count("timeout"),
-        bisections=recorder.count("bisect"),
-        quarantined=len(errors),
-        degraded=recorder.count("degrade") > 0,
+    stats = build_stats()
+    result = CampaignResult(
+        spec=spec, records=records, errors=errors, stats=stats,
+        metrics=registry.snapshot(),
     )
-    return CampaignResult(spec=spec, records=records, errors=errors, stats=stats)
+    if observer is not None:
+        observer.finish(
+            status="completed",
+            stats=_stats_dict(stats),
+            metrics=result.metrics,
+            events=recorder.counts,
+            event_tail=_encode_events(recorder.tail()),
+            summary={
+                "n_records": len(records),
+                "n_errors": len(errors),
+                "masked_fraction": result.masked_fraction,
+                "sdc": {cls: result.sdc_rate(cls).p for cls in SDC_CLASSES},
+            },
+        )
+    return result
+
+
+def _stats_dict(stats: ExecutionStats) -> dict:
+    """JSON-safe form of :class:`ExecutionStats` for the manifest."""
+    import dataclasses
+
+    return dataclasses.asdict(stats)
+
+
+def _encode_events(events: list) -> list[dict]:
+    """JSON-safe form of a :class:`CampaignEvent` tail for the manifest."""
+    from repro.core.serialize import to_jsonable
+
+    return [
+        {"seq": e.seq, "event": e.kind, "detail": to_jsonable(e.detail)}
+        for e in events
+    ]

@@ -45,11 +45,30 @@ __all__ = [
     "CheckpointMismatchError",
     "CheckpointState",
     "CheckpointWriter",
+    "atomic_write_text",
     "campaign_fingerprint",
     "decode_record",
     "encode_record",
     "load_checkpoint",
 ]
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Publish ``text`` at ``path`` via pid-unique temp + ``os.replace``.
+
+    The RP3xx atomic-write discipline in one place: a concurrent writer
+    or a SIGKILL mid-write can never leave a torn file behind.  Used by
+    checkpoint snapshots and the run manifests of :mod:`repro.obs`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
 
 CHECKPOINT_VERSION = 1
 _FORMAT = "repro-campaign-checkpoint"
@@ -212,18 +231,10 @@ class CheckpointWriter:
         """Publish an atomic snapshot of everything added so far."""
         if not self._dirty and self.path.exists():
             return self.path
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         lines = [json.dumps(self._header, sort_keys=True)]
         lines.extend(
             json.dumps(self._entries[index], sort_keys=True) for index in sorted(self._entries)
         )
-        # Pid-unique temp + os.replace: a concurrent writer or a SIGKILL
-        # mid-write must never publish a torn snapshot (RP301/RP302).
-        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
-            os.replace(tmp, self.path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
         self._dirty = False
         return self.path

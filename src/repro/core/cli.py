@@ -82,6 +82,19 @@ def main(argv: list[str] | None = None) -> int:
                             help="abort once more than this fraction of trials is quarantined")
     resilience.add_argument("--events", action="store_true",
                             help="stream retry/rebuild/quarantine events to stderr")
+    obs = parser.add_argument_group("observability (docs/observability.md)")
+    obs.add_argument("--manifest", default=None, metavar="PATH",
+                     help="write the run-manifest JSON here (defaults next to "
+                          "--checkpoint when one is set)")
+    obs.add_argument("--run-log", default=None, metavar="PATH",
+                     help="append the structured JSONL run log here (same default)")
+    obs.add_argument("--progress", type=float, default=0.0, metavar="SEC", nargs="?",
+                     const=2.0,
+                     help="print live progress (trials/s, ETA, RSS) every SEC "
+                          "seconds (default 2.0 when given without a value)")
+    obs.add_argument("--spans", action="store_true",
+                     help="collect hierarchical timing spans (per-layer forward, "
+                          "injection, checkpoint flushes) into the manifest")
     args = parser.parse_args(argv)
 
     try:
@@ -93,6 +106,10 @@ def main(argv: list[str] | None = None) -> int:
     recorder = EventRecorder(
         sink=(lambda event: print(event, file=sys.stderr)) if args.events else None
     )
+    if args.progress:
+        from repro.obs.progress import ProgressReporter
+
+        recorder.add_sink(ProgressReporter(stream=sys.stderr, min_interval=args.progress))
     try:
         result = run_campaign(
             spec,
@@ -104,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
             max_retries=args.max_retries,
             max_error_frac=args.max_error_frac,
             events=recorder,
+            spans=args.spans,
+            manifest=args.manifest,
+            run_log=args.run_log,
+            progress_every=args.progress,
         )
     except CheckpointMismatchError as exc:
         print(f"checkpoint mismatch: {exc}", file=sys.stderr)

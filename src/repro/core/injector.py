@@ -26,6 +26,7 @@ from repro.dtypes.base import DataType
 from repro.nn.layers.base import MacChain, MacLayer
 from repro.nn.network import InferenceResult, Network
 from repro.core.fault import BufferFault, DatapathFault
+from repro.obs.spans import span
 
 __all__ = ["InjectionResult", "replay_chain", "inject_datapath", "inject_buffer"]
 
@@ -175,17 +176,18 @@ def inject_datapath(
     if not isinstance(layer, MacLayer):
         raise TypeError(f"layer {fault.layer_index} is not a MAC layer")
     x = golden.activations[fault.layer_index]
-    chain = layer.mac_operands(x, fault.out_index, dtype)
-    clean = replay_chain(dtype, chain)
-    faulty = replay_chain(dtype, chain, fault)
-    if storage_dtype is not None and fault.layer_index in network.block_output_indices():
-        # The corrupted MAC result is immediately narrowed for storage.
-        clean = float(storage_dtype.quantize(np.array([clean]))[0])
-        faulty = float(storage_dtype.quantize(np.array([faulty]))[0])
-    if faulty == clean or (np.isnan(faulty) and np.isnan(clean)):
-        return _masked_result(golden, fault.layer_index + 1, clean)
-    act = golden.activations[fault.layer_index + 1].copy()
-    act[fault.out_index] = faulty
+    with span("inject_datapath"):
+        chain = layer.mac_operands(x, fault.out_index, dtype)
+        clean = replay_chain(dtype, chain)
+        faulty = replay_chain(dtype, chain, fault)
+        if storage_dtype is not None and fault.layer_index in network.block_output_indices():
+            # The corrupted MAC result is immediately narrowed for storage.
+            clean = float(storage_dtype.quantize(np.array([clean]))[0])
+            faulty = float(storage_dtype.quantize(np.array([faulty]))[0])
+        if faulty == clean or (np.isnan(faulty) and np.isnan(clean)):
+            return _masked_result(golden, fault.layer_index + 1, clean)
+        act = golden.activations[fault.layer_index + 1].copy()
+        act[fault.out_index] = faulty
     return _patched_resume(
         network, dtype, fault.layer_index + 1, act, clean, faulty, record,
         storage_dtype=storage_dtype,
@@ -371,4 +373,5 @@ def inject_buffer(
         handler = _BUFFER_DISPATCH[fault.scope]
     except KeyError:
         raise ValueError(f"unknown buffer fault scope {fault.scope!r}") from None
-    return handler(network, dtype, fault, golden, record, storage_dtype)
+    with span("inject_buffer"):
+        return handler(network, dtype, fault, golden, record, storage_dtype)

@@ -106,6 +106,13 @@ def campaign_summary(result: CampaignResult) -> dict:
         by_reason[err.reason] = by_reason.get(err.reason, 0) + 1
     summary["errors"] = {"n": len(result.errors), "by_reason": by_reason}
     summary["execution"] = to_jsonable(result.stats)
+    # Deterministic metric sections only: the summary must compare equal
+    # across serial / parallel / resumed runs (the CI smoke test diffs
+    # summaries after popping "execution"), so the wall-clock "timing"
+    # section stays out — it lives in the run manifest instead.
+    metrics = {k: v for k, v in (result.metrics or {}).items() if k != "timing"}
+    if any(metrics.values()):
+        summary["metrics"] = to_jsonable(metrics)
     quality = result.detection_quality()
     if quality.total_injected:
         summary["detection"] = {

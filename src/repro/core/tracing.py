@@ -18,7 +18,7 @@ emit ``retry`` / ``rebuild`` / ``timeout`` / ``bisect`` / ``quarantine``
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -61,15 +61,19 @@ class CampaignEvent:
 class EventRecorder:
     """Collects campaign supervision events; the pool's ``on_event`` hook.
 
-    Stores at most ``max_events`` events (a multi-million-trial campaign
-    must not grow an unbounded log) but counts every emission, so
-    :meth:`count` stays exact regardless of truncation.
+    Retains the **most recent** ``max_events`` events in a ring buffer (a
+    multi-million-trial campaign must not grow an unbounded log, but the
+    tail of a long run is exactly what post-mortem debugging needs) and
+    counts every emission, so :meth:`count` stays exact regardless of
+    truncation.
 
     Args:
         sink: Optional callable invoked with every :class:`CampaignEvent`
             as it is emitted (e.g. ``lambda e: print(e, file=sys.stderr)``
-            for live progress on a long run).
-        max_events: Retention cap for the in-memory event list.
+            for live progress on a long run).  Further sinks — a
+            :class:`~repro.obs.progress.ProgressReporter`, a run-log
+            writer — attach via :meth:`add_sink`.
+        max_events: Retention cap for the in-memory event buffer.
     """
 
     def __init__(
@@ -77,11 +81,14 @@ class EventRecorder:
         sink: Callable[[CampaignEvent], None] | None = None,
         max_events: int = 1000,
     ):
-        self.events: list[CampaignEvent] = []
+        self.events: deque[CampaignEvent] = deque(maxlen=max_events)
         self._counts: Counter[str] = Counter()
-        self._sink = sink
-        self._max_events = max_events
+        self._sinks: list[Callable[[CampaignEvent], None]] = [] if sink is None else [sink]
         self._seq = 0
+
+    def add_sink(self, sink: Callable[[CampaignEvent], None]) -> None:
+        """Attach one more per-event observer (all sinks see all events)."""
+        self._sinks.append(sink)
 
     def emit(self, kind: str, detail: dict | None = None, **extra) -> CampaignEvent:
         """Record one event; signature matches the pool's ``on_event``."""
@@ -90,10 +97,9 @@ class EventRecorder:
         event = CampaignEvent(seq=self._seq, kind=kind, detail=payload)
         self._seq += 1
         self._counts[kind] += 1
-        if len(self.events) < self._max_events:
-            self.events.append(event)
-        if self._sink is not None:
-            self._sink(event)
+        self.events.append(event)
+        for sink in self._sinks:
+            sink(event)
         return event
 
     def count(self, kind: str) -> int:
@@ -104,6 +110,12 @@ class EventRecorder:
     def counts(self) -> dict[str, int]:
         """Emission totals by kind."""
         return dict(self._counts)
+
+    def tail(self, n: int = 50) -> list[CampaignEvent]:
+        """The most recent ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.events)[-n:]
 
 
 def block_output_layers(network: Network) -> dict[int, int]:

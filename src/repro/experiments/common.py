@@ -43,6 +43,12 @@ class ExperimentConfig:
             trials to ``<dir>/<fingerprint>.jsonl``.
         resume: Skip trial indices already present in a campaign's
             checkpoint file (requires ``checkpoint_dir``).
+        obs_dir: When set, every campaign writes a run manifest and a
+            structured JSONL run log to ``<dir>/<fingerprint>.manifest.json``
+            / ``<dir>/<fingerprint>.runlog.jsonl`` (docs/observability.md).
+        progress: Seconds between live progress lines on stderr
+            (0 disables).
+        spans: Collect hierarchical timing spans in every campaign.
     """
 
     trials: int = 300
@@ -54,6 +60,9 @@ class ExperimentConfig:
     max_error_frac: float = 0.0
     checkpoint_dir: str | None = None
     resume: bool = False
+    obs_dir: str | None = None
+    progress: float = 0.0
+    spans: bool = False
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -85,14 +94,29 @@ def campaign(spec: CampaignSpec, jobs: int = 1, cfg: ExperimentConfig | None = N
                 trial_timeout=cfg.trial_timeout,
                 max_retries=cfg.max_retries,
                 max_error_frac=cfg.max_error_frac,
+                spans=cfg.spans,
+                progress_every=cfg.progress,
             )
-            if cfg.checkpoint_dir is not None:
+            if cfg.checkpoint_dir is not None or cfg.obs_dir is not None:
                 from repro.core.checkpoint import campaign_fingerprint
 
-                kwargs["checkpoint"] = (
-                    Path(cfg.checkpoint_dir) / f"{campaign_fingerprint(spec)}.jsonl"
-                )
-                kwargs["resume"] = cfg.resume
+                fingerprint = campaign_fingerprint(spec)
+                if cfg.checkpoint_dir is not None:
+                    kwargs["checkpoint"] = (
+                        Path(cfg.checkpoint_dir) / f"{fingerprint}.jsonl"
+                    )
+                    kwargs["resume"] = cfg.resume
+                if cfg.obs_dir is not None:
+                    obs_dir = Path(cfg.obs_dir)
+                    kwargs["manifest"] = obs_dir / f"{fingerprint}.manifest.json"
+                    kwargs["run_log"] = obs_dir / f"{fingerprint}.runlog.jsonl"
+            if cfg.progress > 0:
+                from repro.core.tracing import EventRecorder
+                from repro.obs.progress import ProgressReporter
+
+                recorder = EventRecorder()
+                recorder.add_sink(ProgressReporter(min_interval=cfg.progress))
+                kwargs["events"] = recorder
         cached = run_campaign(spec, jobs=jobs, **kwargs)
         _campaign_cache[spec] = cached
     return cached

@@ -81,8 +81,34 @@ def run_experiment(exp_id: str, cfg: ExperimentConfig, out_dir: str | None = Non
         module = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}") from None
-    result = module.run(cfg)
-    rendering = module.render(result)
+    observer = None
+    if out_dir is not None:
+        from pathlib import Path
+
+        from repro.obs.manifest import RunObserver
+
+        base = Path(out_dir)
+        observer = RunObserver(
+            manifest_path=base / f"{exp_id}.manifest.json",
+            run_log_path=base / f"{exp_id}.runlog.jsonl",
+            kind="experiment",
+            meta={
+                "experiment": exp_id,
+                "title": module.TITLE,
+                "trials": cfg.trials,
+                "scale": cfg.scale,
+                "seed": cfg.seed,
+                "jobs": cfg.jobs,
+            },
+        )
+        observer.begin()
+    try:
+        result = module.run(cfg)
+        rendering = module.render(result)
+    except BaseException:
+        if observer is not None:
+            observer.finish(status="failed")
+        raise
     if out_dir is not None:
         from pathlib import Path
 
@@ -92,6 +118,11 @@ def run_experiment(exp_id: str, cfg: ExperimentConfig, out_dir: str | None = Non
         save_json(result, base / f"{exp_id}.json")
         base.mkdir(parents=True, exist_ok=True)
         (base / f"{exp_id}.txt").write_text(rendering + "\n")
+        if observer is not None:
+            observer.finish(
+                status="completed",
+                summary={"artifacts": [f"{exp_id}.json", f"{exp_id}.txt"]},
+            )
     return rendering
 
 
@@ -118,6 +149,16 @@ def main(argv: list[str] | None = None) -> int:
                             help="snapshot each campaign to <DIR>/<fingerprint>.jsonl")
     resilience.add_argument("--resume", action="store_true",
                             help="skip trials already recorded under --checkpoint-dir")
+    obs = parser.add_argument_group("observability (docs/observability.md)")
+    obs.add_argument("--obs-dir", default=None, metavar="DIR",
+                     help="write each campaign's run manifest + JSONL run log to "
+                          "<DIR>/<fingerprint>.*")
+    obs.add_argument("--progress", type=float, default=0.0, metavar="SEC", nargs="?",
+                     const=2.0,
+                     help="print live campaign progress every SEC seconds "
+                          "(default 2.0 when given without a value)")
+    obs.add_argument("--spans", action="store_true",
+                     help="collect hierarchical timing spans in every campaign")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -133,7 +174,8 @@ def main(argv: list[str] | None = None) -> int:
         trials=args.trials, scale=args.scale, seed=args.seed, jobs=args.jobs,
         trial_timeout=args.trial_timeout, max_retries=args.max_retries,
         max_error_frac=args.max_error_frac, checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
+        resume=args.resume, obs_dir=args.obs_dir, progress=args.progress,
+        spans=args.spans,
     )
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.dtypes.base import DataType
 from repro.nn.layers.base import Layer, MacLayer, Shape
+from repro.obs.spans import span
 
 __all__ = ["Network", "InferenceResult"]
 
@@ -206,7 +207,10 @@ class Network:
         activations: list[np.ndarray] = [act] if record else []
         batched = act[None]
         for i, layer in enumerate(self.layers):
-            batched = layer.forward(batched, dtype)
+            # span() is a shared no-op unless timing is enabled, so this
+            # per-layer hook stays out of the hot path's profile.
+            with span(f"layer:{layer.name}"):
+                batched = layer.forward(batched, dtype)
             if i in store_at:
                 batched = storage_dtype.quantize(batched)
             if record:
@@ -237,7 +241,8 @@ class Network:
         activations: list[np.ndarray] = [act] if record else []
         batched = np.asarray(act, dtype=np.float64)[None]
         for i, layer in enumerate(self.layers[layer_index:], start=layer_index):
-            batched = layer.forward(batched, dtype)
+            with span(f"layer:{layer.name}"):
+                batched = layer.forward(batched, dtype)
             if i in store_at:
                 batched = storage_dtype.quantize(batched)
             if record:

@@ -1,0 +1,258 @@
+"""``repro-obs``: inspect campaign run manifests and run logs.
+
+Three subcommands over the artifacts :mod:`repro.obs.manifest` writes:
+
+- ``summarize <run>`` — render a run's manifest (identity, timing,
+  metric counters, span time split, event tallies) as tables; accepts a
+  ``.manifest.json`` or a ``.runlog.jsonl``.
+- ``tail <run>`` — print the last N supervision events of a run log.
+- ``diff <a> <b>`` — compare two runs: throughput, error rates, and
+  per-phase time split, with deltas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.obs.manifest import load_run
+from repro.utils.tables import format_table
+
+__all__ = ["main", "render_summary", "render_diff", "render_tail"]
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    if value >= 60.0:
+        return f"{value / 60.0:.1f} min"
+    return f"{value:.2f} s"
+
+
+def _run_facts(run: dict) -> dict:
+    """Flatten a loaded run into the fields summarize/diff print."""
+    manifest = run.get("manifest") or {}
+    meta = manifest.get("run", {}) or (run.get("begin") or {})
+    timing = manifest.get("timing", {})
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    execution = manifest.get("execution", {})
+    summary = manifest.get("summary", {})
+    duration = timing.get("duration_s")
+    trials = counters.get("trials", meta.get("n_trials"))
+    throughput = None
+    if duration and trials:
+        throughput = trials / duration
+    return {
+        "status": manifest.get("status", "unknown"),
+        "kind": manifest.get("kind", "campaign"),
+        "meta": meta,
+        "timing": timing,
+        "spans": timing.get("spans", {}),
+        "counters": counters,
+        "gauges": metrics.get("gauges", {}),
+        "histograms": metrics.get("histograms", {}),
+        "execution": execution,
+        "events": manifest.get("events", {}),
+        "summary": summary,
+        "env": manifest.get("env", {}),
+        "duration_s": duration,
+        "trials": trials,
+        "throughput": throughput,
+    }
+
+
+def _identity_rows(facts: dict) -> list[list[str]]:
+    meta, env, timing = facts["meta"], facts["env"], facts["timing"]
+    rows = []
+    for key in ("fingerprint", "network", "dtype", "target", "n_trials",
+                "seed", "jobs", "resumed", "resumed_trials", "experiment"):
+        if key in meta and meta[key] is not None:
+            rows.append([key, str(meta[key])])
+    rows.append(["status", facts["status"]])
+    if timing.get("started_at"):
+        rows.append(["started", str(timing["started_at"])])
+    rows.append(["duration", _fmt_seconds(facts["duration_s"])])
+    if facts["throughput"] is not None:
+        rows.append(["throughput", f"{facts['throughput']:.1f} trials/s"])
+    if env.get("git_rev"):
+        rows.append(["git", str(env["git_rev"])[:12]])
+    if env.get("python"):
+        rows.append(["python / numpy", f"{env.get('python')} / {env.get('numpy')}"])
+    return rows
+
+
+def _span_rows(spans: dict) -> list[list[str]]:
+    total = sum(t.get("total_s", 0.0) for t in spans.values()) or 1.0
+    rows = []
+    for path in sorted(spans, key=lambda p: -spans[p].get("total_s", 0.0)):
+        t = spans[path]
+        count = t.get("count", 0)
+        total_s = t.get("total_s", 0.0)
+        mean_ms = 1000.0 * total_s / count if count else 0.0
+        rows.append([
+            path, str(count), f"{total_s:.3f}", f"{mean_ms:.2f}",
+            f"{1000.0 * t.get('max_s', 0.0):.2f}", f"{100.0 * total_s / total:.1f}%",
+        ])
+    return rows
+
+
+def render_summary(run: dict) -> str:
+    """Tables describing one loaded run (see :func:`load_run`)."""
+    facts = _run_facts(run)
+    if not run.get("manifest"):
+        lines = [f"{run['path']}: no manifest found "
+                 "(run still in flight, or killed before its first flush)"]
+        if run.get("begin"):
+            lines.append(format_table(
+                ["key", "value"],
+                [[k, str(v)] for k, v in sorted(run["begin"].items()) if k != "kind"],
+                title="begin record",
+            ))
+        if run.get("events"):
+            lines.append(f"{len(run['events'])} events logged; try 'repro-obs tail'")
+        return "\n\n".join(lines)
+    blocks = [format_table(["key", "value"], _identity_rows(facts),
+                           title=f"run: {facts['kind']} ({run['path']})")]
+    if facts["counters"]:
+        blocks.append(format_table(
+            ["counter", "value"],
+            [[k, str(v)] for k, v in sorted(facts["counters"].items())],
+            title="metrics",
+        ))
+    for name, hist in sorted(facts["histograms"].items()):
+        edges, counts = hist.get("edges", []), hist.get("counts", [])
+        labels = [f"<= {e:g}" for e in edges] + ["overflow"]
+        rows = [[lab, str(c)] for lab, c in zip(labels, counts) if c]
+        if rows:
+            blocks.append(format_table(["bucket", "count"], rows, title=f"histogram: {name}"))
+    if facts["spans"]:
+        blocks.append(format_table(
+            ["span", "count", "total s", "mean ms", "max ms", "share"],
+            _span_rows(facts["spans"]), title="time split",
+        ))
+    execution = {k: v for k, v in facts["execution"].items() if v}
+    if execution:
+        blocks.append(format_table(
+            ["stat", "value"], [[k, str(v)] for k, v in sorted(execution.items())],
+            title="execution",
+        ))
+    counts = facts["events"].get("counts", {})
+    if counts:
+        blocks.append(format_table(
+            ["event", "count"], [[k, str(v)] for k, v in sorted(counts.items())],
+            title="events",
+        ))
+    sdc = facts["summary"].get("sdc", {})
+    if sdc:
+        blocks.append(format_table(
+            ["class", "probability"], [[k, f"{v:.4f}"] for k, v in sorted(sdc.items())],
+            title="outcomes",
+        ))
+    return "\n\n".join(blocks)
+
+
+def render_tail(run: dict, n: int = 20, kind: str | None = None) -> str:
+    """The last ``n`` event lines of a run (optionally one kind only)."""
+    events = run.get("events", [])
+    if kind is not None:
+        events = [e for e in events if e.get("event") == kind]
+    events = events[-n:]
+    if not events:
+        return "no matching events"
+    rows = []
+    for e in events:
+        detail = e.get("detail", {})
+        rows.append([
+            str(e.get("seq", "")),
+            f"{e['t']:.2f}" if isinstance(e.get("t"), (int, float)) else "",
+            str(e.get("event", "")),
+            " ".join(f"{k}={v}" for k, v in sorted(detail.items())),
+        ])
+    return format_table(["seq", "t+s", "event", "detail"], rows)
+
+
+def _diff_row(label: str, a, b, fmt: str = "{:.2f}") -> list[str]:
+    def show(v):
+        return fmt.format(v) if isinstance(v, (int, float)) else "n/a"
+
+    delta = ""
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        delta = fmt.format(b - a)
+        if a:
+            delta += f" ({100.0 * (b - a) / a:+.1f}%)"
+    return [label, show(a), show(b), delta]
+
+
+def render_diff(run_a: dict, run_b: dict) -> str:
+    """Compare two loaded runs: throughput, errors, per-phase time split."""
+    fa, fb = _run_facts(run_a), _run_facts(run_b)
+    rows = [
+        _diff_row("duration_s", fa["duration_s"], fb["duration_s"]),
+        _diff_row("trials", fa["trials"], fb["trials"], fmt="{:d}"),
+        _diff_row("trials/s", fa["throughput"], fb["throughput"]),
+    ]
+    for key in ("quarantined", "retries", "rebuilds", "timeouts"):
+        rows.append(_diff_row(
+            key, fa["execution"].get(key, 0), fb["execution"].get(key, 0), fmt="{:d}"))
+    sdc_keys = sorted(set(fa["summary"].get("sdc", {})) | set(fb["summary"].get("sdc", {})))
+    for key in sdc_keys:
+        rows.append(_diff_row(
+            f"sdc:{key}",
+            fa["summary"].get("sdc", {}).get(key),
+            fb["summary"].get("sdc", {}).get(key),
+            fmt="{:.4f}",
+        ))
+    blocks = [format_table(
+        ["metric", run_a["path"], run_b["path"], "delta"], rows, title="run diff")]
+    paths = sorted(set(fa["spans"]) | set(fb["spans"]))
+    if paths:
+        span_rows = []
+        for path in paths:
+            ta = fa["spans"].get(path, {}).get("total_s")
+            tb = fb["spans"].get(path, {}).get("total_s")
+            span_rows.append(_diff_row(path, ta, tb, fmt="{:.3f}"))
+        blocks.append(format_table(
+            ["span", "a total s", "b total s", "delta"], span_rows,
+            title="per-phase time split"))
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect fault-injection run manifests and run logs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="render a run's manifest and metrics")
+    p_sum.add_argument("run", help="a .manifest.json or .runlog.jsonl file")
+    p_tail = sub.add_parser("tail", help="print the last events of a run log")
+    p_tail.add_argument("run", help="a .runlog.jsonl (or manifest with an event tail)")
+    p_tail.add_argument("-n", type=int, default=20, help="events to show")
+    p_tail.add_argument("--kind", default=None, help="only this event kind")
+    p_diff = sub.add_parser("diff", help="compare two runs")
+    p_diff.add_argument("run_a")
+    p_diff.add_argument("run_b")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "summarize":
+            print(render_summary(load_run(args.run)))
+        elif args.command == "tail":
+            print(render_tail(load_run(args.run), n=args.n, kind=args.kind))
+        else:
+            print(render_diff(load_run(args.run_a), load_run(args.run_b)))
+    except FileNotFoundError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into head/less that exited early: not an error.
+        # Swap in a closed-safe stdout so interpreter shutdown does not
+        # complain about the broken one.
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Hierarchical timing spans with a low-overhead no-op path.
+
+``span("trial")`` is a context manager; nested spans build slash-joined
+paths (``trial/golden_infer``, ``trial/layer:conv1``) and durations are
+aggregated per path into count/total/max cells — the campaign never
+stores one record per span, so a multi-million-trial run's span data
+stays O(distinct paths).
+
+Spans are **disabled by default**.  Disabled, ``span()`` returns a
+shared no-op context manager: the cost is one flag check and an empty
+``with`` block, cheap enough to leave in per-layer forward loops (the
+benchmark suite tracks this — see ``benchmarks/test_bench_obs_overhead``).
+Enabled (:func:`enable_spans`), each span costs two ``perf_counter``
+reads and a dict update.
+
+State is process-global and deliberately simple: the campaign's
+concurrency unit is the process (workers enable spans for themselves in
+their initializer and ship their timings back with each chunk's metric
+snapshot), and span timings are wall-clock data — they belong in the
+``timing`` section of a metrics snapshot, never next to deterministic
+counters.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "span",
+    "enable_spans",
+    "disable_spans",
+    "spans_enabled",
+    "timing_snapshot",
+    "record_timing",
+]
+
+_enabled = False
+#: Current nesting path ("" at top level).
+_path = ""
+#: path -> [count, total_s, max_s]
+_timings: dict[str, list] = {}
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live span; records its duration under the nested path."""
+
+    __slots__ = ("name", "_prev", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        global _path
+        self._prev = _path
+        _path = f"{_path}/{self.name}" if _path else self.name
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _path
+        record_timing(_path, time.perf_counter() - self._t0)
+        _path = self._prev
+        return None
+
+
+def span(name: str):
+    """Open a timing span named ``name`` (no-op unless spans are enabled)."""
+    if not _enabled:
+        return _NOOP
+    return _Span(name)
+
+
+def record_timing(path: str, seconds: float) -> None:
+    """Fold one duration into the process-global span aggregates."""
+    slot = _timings.get(path)
+    if slot is None:
+        _timings[path] = [1, seconds, seconds]
+    else:
+        slot[0] += 1
+        slot[1] += seconds
+        slot[2] = max(slot[2], seconds)
+
+
+def enable_spans() -> None:
+    """Turn span timing on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable_spans() -> None:
+    """Turn span timing off (already-collected timings are kept)."""
+    global _enabled
+    _enabled = False
+
+
+def spans_enabled() -> bool:
+    """Whether spans currently record timings in this process."""
+    return _enabled
+
+
+def timing_snapshot(reset: bool = False) -> dict:
+    """Aggregated span timings, metrics-snapshot ``timing`` format.
+
+    Args:
+        reset: Clear the aggregates after reading — workers use this to
+            ship per-chunk deltas alongside their metric snapshots.
+    """
+    snap = {
+        path: {"count": c, "total_s": t, "max_s": m}
+        for path, (c, t, m) in sorted(_timings.items())
+    }
+    if reset:
+        _timings.clear()
+    return snap

@@ -35,6 +35,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.obs.spans import span
+
 __all__ = ["effective_jobs", "exc_summary", "map_trials", "TrialFailure"]
 
 _WORKER_TASK = None
@@ -111,15 +113,24 @@ def _run_chunk(indices: Sequence[int]) -> list:
 
     Returns ``("ok", i, value)`` / ``("err", i, exc_type, summary)``
     tuples so one raising trial does not poison its chunk-mates and the
-    supervisor can tell a raising trial from a crashed worker.
+    supervisor can tell a raising trial from a crashed worker.  When the
+    task exposes ``collect_obs()``, its per-chunk observability delta
+    (metric snapshot) rides along as a final ``("obs", payload)`` tuple:
+    snapshot and results travel in the same message, so a crashed or
+    timed-out chunk loses both together and re-running it can never
+    double-count a trial's metrics.
     """
     assert _WORKER_TASK is not None, "worker not initialised"
     out: list[tuple] = []
-    for i in indices:
-        try:
-            out.append(("ok", i, _WORKER_TASK(i)))
-        except Exception as exc:
-            out.append(("err", i, type(exc).__name__, exc_summary(exc)))
+    with span("chunk"):
+        for i in indices:
+            try:
+                out.append(("ok", i, _WORKER_TASK(i)))
+            except Exception as exc:
+                out.append(("err", i, type(exc).__name__, exc_summary(exc)))
+    collect = getattr(_WORKER_TASK, "collect_obs", None)
+    if callable(collect):
+        out.append(("obs", collect()))
     return out
 
 
@@ -145,6 +156,7 @@ class _Supervisor:
         backoff_cap: float,
         on_event: Callable[[str, dict], None] | None,
         on_result: Callable[[int, object], None] | None,
+        on_obs: Callable[[object], None] | None = None,
     ):
         self.task_factory = task_factory
         self.n_jobs = n_jobs
@@ -156,6 +168,7 @@ class _Supervisor:
         self.backoff_cap = backoff_cap
         self.on_event = on_event
         self.on_result = on_result
+        self.on_obs = on_obs
 
         self.results: dict[int, object] = {}
         self.pending: deque[_Chunk] = deque(
@@ -258,12 +271,16 @@ class _Supervisor:
         task = self.task_factory()
         while self.pending:
             c = self.pending.popleft()
-            for i in c.indices:
-                try:
-                    self._record(i, task(i))
-                except Exception as exc:
-                    self._quarantine(i, "error", c.attempts + 1,
-                                     exc_type=type(exc).__name__, message=exc_summary(exc))
+            with span("chunk"):
+                for i in c.indices:
+                    try:
+                        self._record(i, task(i))
+                    except Exception as exc:
+                        self._quarantine(i, "error", c.attempts + 1,
+                                         exc_type=type(exc).__name__, message=exc_summary(exc))
+        collect = getattr(task, "collect_obs", None)
+        if callable(collect) and self.on_obs is not None:
+            self.on_obs(collect())
 
     # -- completed-future processing --------------------------------------- #
     def _absorb(self, payload: list) -> None:
@@ -271,6 +288,9 @@ class _Supervisor:
             if item[0] == "ok":
                 _, i, value = item
                 self._record(i, value)
+            elif item[0] == "obs":
+                if self.on_obs is not None:
+                    self.on_obs(item[1])
             else:
                 _, i, exc_type, message = item
                 attempts = self.error_attempts.get(i, 0) + 1
@@ -417,6 +437,7 @@ def map_trials(
     backoff_cap: float = 8.0,
     on_event: Callable[[str, dict], None] | None = None,
     on_result: Callable[[int, object], None] | None = None,
+    on_obs: Callable[[object], None] | None = None,
 ) -> list:
     """Run ``task(i)`` for each trial index, possibly in parallel, supervised.
 
@@ -450,6 +471,11 @@ def map_trials(
         on_result: Streaming callback ``(index, value)`` fired as each
             trial resolves (out of order in parallel mode) — the hook
             campaign checkpointing builds on.
+        on_obs: Callback receiving each worker's per-chunk observability
+            payload (``task.collect_obs()`` — typically a metric-snapshot
+            delta; see :mod:`repro.obs.metrics`).  Payloads arrive in
+            completion order; merging must therefore be commutative.
+            Inline execution delivers one final payload.
 
     Returns:
         Per-trial results in trial-index order.  A trial the supervisor
@@ -466,11 +492,15 @@ def map_trials(
     if n_jobs == 1 or len(indices) <= 1:
         task = task_factory()
         results = []
-        for i in indices:
-            value = task(i)
-            if on_result is not None:
-                on_result(i, value)
-            results.append(value)
+        with span("chunk"):
+            for i in indices:
+                value = task(i)
+                if on_result is not None:
+                    on_result(i, value)
+                results.append(value)
+        collect = getattr(task, "collect_obs", None)
+        if callable(collect) and on_obs is not None:
+            on_obs(collect())
         return results
 
     supervisor = _Supervisor(
@@ -486,6 +516,7 @@ def map_trials(
         backoff_cap=backoff_cap,
         on_event=on_event,
         on_result=on_result,
+        on_obs=on_obs,
     )
     resolved = supervisor.run()
     return [resolved[i] for i in indices]

@@ -57,7 +57,7 @@ class TestRegistry:
     def test_ids_are_stable_and_unique(self):
         rule_ids = [rule.id for rule in all_rules()]
         assert len(rule_ids) == len(set(rule_ids))
-        assert {"RP101", "RP102", "RP103", "RP104", "RP201", "RP202", "RP203",
+        assert {"RP101", "RP102", "RP103", "RP104", "RP105", "RP201", "RP202", "RP203",
                 "RP301", "RP302", "RP401", "RP402", "RP501", "RP502", "RP503"} <= set(rule_ids)
 
     def test_get_rule_unknown_raises(self):
@@ -65,7 +65,7 @@ class TestRegistry:
             get_rule("RP999")
 
     def test_expand_family_selector(self):
-        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103", "RP104"}
+        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103", "RP104", "RP105"}
         assert expand_ids(["RP3xx"]) == {"RP301", "RP302"}
         with pytest.raises(KeyError):
             expand_ids(["RP9"])
@@ -145,6 +145,71 @@ class TestDeterminismRules:
         """
         findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
         assert "RP104" not in ids(findings)
+
+
+class TestObservabilityRules:
+    def test_rp105_bare_print_in_library(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def helper(x):
+            print("debug", x)
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP105" in ids(findings)
+
+    def test_rp105_exempt_paths_skip_cli_and_reporter(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def main():
+            print("usage: ...")
+        """
+        for relpath in ("repro/core/cli.py", "repro/obs/progress.py"):
+            findings = lint_snippet(tmp_path, code, relpath=relpath)
+            assert "RP105" not in ids(findings), relpath
+
+    def test_rp105_outside_library_scope_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "__all__ = []\nprint('hi')\n", relpath="scripts/tool.py"
+        )
+        assert "RP105" not in ids(findings)
+
+    def test_rp105_shadowed_print_method_clean(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def render(doc):
+            doc.print()
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP105" not in ids(findings)
+
+    def test_rp105_noqa_exemption(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def helper(x):
+            print(x)  # repro: noqa[RP105]
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP105" not in ids(findings)
+
+    def test_rp105_custom_exempt_config(self, tmp_path):
+        from repro.analysis.config import LintConfig
+
+        code = """
+        __all__ = []
+        print("banner")
+        """
+        cfg = LintConfig(print_exempt_paths=("repro/custom/banner.py",))
+        findings = lint_snippet(tmp_path, code, relpath="repro/custom/banner.py", config=cfg)
+        assert "RP105" not in ids(findings)
+
+    def test_repo_source_tree_is_rp105_clean(self):
+        src = Path(__file__).resolve().parents[1] / "src"
+        findings = [f for f in lint_paths([src]) if f.rule_id == "RP105"]
+        assert findings == []
 
 
 class TestDtypeRules:
