@@ -30,7 +30,12 @@ from repro.core.fault import (
     sample_buffer_fault,
     sample_datapath_fault,
 )
-from repro.core.injector import inject_buffer, inject_datapath
+from repro.core.injector import (
+    InjectionResult,
+    finish_injection,
+    prepare_buffer,
+    prepare_datapath,
+)
 from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
 from repro.core.stats import RateEstimate
 from repro.core.tracing import EventRecorder
@@ -437,7 +442,14 @@ class _CampaignTask:
             golden.activations[self._final_act_layer + 1],
         )
 
-    def __call__(self, trial: int) -> TrialRecord:
+    def prepare_trial(self, trial: int):
+        """Sample and build trial ``trial``'s corruption without propagating.
+
+        Returns ``(prep, meta)`` where ``prep`` is the
+        :class:`~repro.core.injector.PreparedInjection` and ``meta``
+        carries everything :meth:`complete_trial` needs (golden, site,
+        block, bit, record flag).
+        """
         spec = self.spec
         self.last_site = None
         _maybe_test_fault(trial)
@@ -455,12 +467,9 @@ class _CampaignTask:
                 burst=spec.burst,
             )
             site = self.last_site = fault.latch
-            injection = inject_datapath(
-                self.network, self.dtype, fault, golden, record=record,
-                storage_dtype=self.storage_dtype,
+            prep = prepare_datapath(
+                self.network, self.dtype, fault, golden, self.storage_dtype
             )
-            block = self.network.layers[fault.layer_index].block or 0
-            bit = fault.bit
         else:
             # Buffer flips land in the storage word (Proteus-aware).
             fault_dtype = self.storage_dtype or self.dtype
@@ -469,12 +478,22 @@ class _CampaignTask:
                 burst=spec.burst, occupancy=self.occupancy,
             )
             site = self.last_site = fault.scope
-            injection = inject_buffer(
-                self.network, self.dtype, fault, golden, record=record,
-                storage_dtype=self.storage_dtype,
+            prep = prepare_buffer(
+                self.network, self.dtype, fault, golden, self.storage_dtype
             )
-            block = self.network.layers[fault.layer_index].block or 0
-            bit = fault.bit
+        meta = {
+            "golden": golden,
+            "site": site,
+            "block": self.network.layers[fault.layer_index].block or 0,
+            "bit": fault.bit,
+            "record": record,
+        }
+        return prep, meta
+
+    def complete_trial(self, meta: dict, injection: InjectionResult) -> TrialRecord:
+        """Classify one propagated injection into a :class:`TrialRecord`."""
+        spec = self.spec
+        golden = meta["golden"]
         outcome = classify_outcome(
             golden, injection.scores, self.network.has_confidence, masked=injection.masked
         )
@@ -494,14 +513,22 @@ class _CampaignTask:
         reached = self._reached(golden, injection) if spec.record_propagation else None
         return TrialRecord(
             outcome=outcome,
-            bit=bit,
-            site=site,
-            block=block,
+            bit=meta["bit"],
+            site=meta["site"],
+            block=meta["block"],
             value_before=injection.value_before,
             value_after=injection.value_after,
             detected=detected,
             reached_output=reached,
         )
+
+    def __call__(self, trial: int) -> TrialRecord:
+        prep, meta = self.prepare_trial(trial)
+        injection = finish_injection(
+            self.network, self.dtype, prep, meta["golden"],
+            record=meta["record"], storage_dtype=self.storage_dtype,
+        )
+        return self.complete_trial(meta, injection)
 
 
 class _SafeTrialTask:
@@ -518,12 +545,15 @@ class _SafeTrialTask:
     parallel and resumed totals byte-identical.
     """
 
-    def __init__(self, spec: CampaignSpec, spans: bool = False):
+    def __init__(self, spec: CampaignSpec, spans: bool = False, batch: int = 1):
         if spans:
             # Before _CampaignTask so golden_infer / learn_detector and
             # the per-layer forward spans inside them are captured.
             enable_spans()
         self.metrics = MetricsRegistry()
+        #: Trials propagated per forward_from_batch call; the parallel
+        #: layer dispatches whole index slices to run_many when > 1.
+        self.group_size = max(1, int(batch))
         self.task = _CampaignTask(spec)
 
     def __call__(self, trial: int) -> TrialRecord | TrialError:
@@ -541,6 +571,111 @@ class _SafeTrialTask:
         record_trial_metrics(self.metrics, record)
         return record
 
+    def _quarantine(self, trial: int, exc: Exception, site: str | None) -> TrialError:
+        return TrialError(
+            index=trial,
+            reason="error",
+            exc_type=type(exc).__name__,
+            message=exc_summary(exc),
+            site=site,
+        )
+
+    def _complete(self, trial: int, meta: dict, injection: InjectionResult):
+        try:
+            record = self.task.complete_trial(meta, injection)
+        except Exception as exc:
+            return self._quarantine(trial, exc, meta["site"])
+        record_trial_metrics(self.metrics, record)
+        return record
+
+    def _finish_serial(self, trial: int, prep, meta: dict):
+        try:
+            injection = finish_injection(
+                self.task.network, self.task.dtype, prep, meta["golden"],
+                record=meta["record"], storage_dtype=self.task.storage_dtype,
+            )
+        except Exception as exc:
+            return self._quarantine(trial, exc, meta["site"])
+        return self._complete(trial, meta, injection)
+
+    def run_many(self, indices: list[int]) -> list:
+        """Run a slice of trials with grouped (batched) propagation.
+
+        Corruption building, outcome classification and the metric folds
+        stay per-trial; only the network-tail propagation is grouped, by
+        resume layer (``spec.storage_dtype`` is constant per campaign, so
+        the resume index alone determines the tail computation).  Results
+        are positionally aligned with ``indices`` and bit-identical to
+        calling ``self(i)`` for each index; a failing group falls back to
+        serial propagation so one bad trial cannot poison its batch-mates.
+        """
+        results: list = [None] * len(indices)
+        groups: dict[int, list] = {}
+        for pos, trial in enumerate(indices):
+            try:
+                with span("trial"):
+                    prep, meta = self.task.prepare_trial(trial)
+                    if prep.masked:
+                        injection = finish_injection(
+                            self.task.network, self.task.dtype, prep,
+                            meta["golden"], record=meta["record"],
+                            storage_dtype=self.task.storage_dtype,
+                        )
+                        results[pos] = self._complete(trial, meta, injection)
+                    else:
+                        groups.setdefault(prep.resume_index, []).append(
+                            (pos, trial, prep, meta)
+                        )
+            except Exception as exc:
+                results[pos] = self._quarantine(trial, exc, self.task.last_site)
+        for items in groups.values():
+            # Cluster corruptions on nearby rows into the same batch: the
+            # delta engine recomputes each batch's *union* row span, so a
+            # sorted split keeps unions narrow where a random split would
+            # push them toward the full feature map and forfeit the delta
+            # savings.  Per-trial results are independent of batch
+            # composition (bit-exactness contract), so ordering is purely
+            # an efficiency choice.
+            items.sort(
+                key=lambda it: (it[2].dirty_rows is None, it[2].dirty_rows or (0, 0))
+            )
+            for start in range(0, len(items), self.group_size):
+                self._run_group(items[start : start + self.group_size], results)
+        return results
+
+    def _run_group(self, items: list, results: list) -> None:
+        task = self.task
+        resume_index = items[0][2].resume_index
+        record = items[0][3]["record"]
+        try:
+            with span("propagate_batch"):
+                batch = task.network.forward_from_batch(
+                    resume_index,
+                    [prep.act for _, _, prep, _ in items],
+                    dtype=task.dtype,
+                    record=record,
+                    storage_dtype=task.storage_dtype,
+                    goldens=[meta["golden"] for _, _, _, meta in items],
+                    dirty_rows=[prep.dirty_rows for _, _, prep, _ in items],
+                )
+        except Exception:
+            # Batched propagation failed (e.g. one pathological trial):
+            # redo the whole group serially so each trial quarantines —
+            # or succeeds — on its own.
+            for pos, trial, prep, meta in items:
+                results[pos] = self._finish_serial(trial, prep, meta)
+            return
+        for b, (pos, trial, prep, meta) in enumerate(items):
+            injection = InjectionResult(
+                scores=batch.scores[b],
+                masked=False,
+                value_before=prep.value_before,
+                value_after=prep.value_after,
+                resume_index=prep.resume_index,
+                faulty_activations=batch.activations[b] if record else [],
+            )
+            results[pos] = self._complete(trial, meta, injection)
+
     def collect_obs(self) -> dict:
         """Delta snapshot of metrics plus span timings since last call."""
         snap = self.metrics.snapshot(reset=True)
@@ -552,6 +687,7 @@ def run_campaign(
     spec: CampaignSpec,
     jobs: int | None = 1,
     *,
+    batch: int = 1,
     chunk: int = 64,
     checkpoint: str | Path | None = None,
     resume: bool = False,
@@ -579,6 +715,14 @@ def run_campaign(
     Args:
         spec: Campaign configuration.
         jobs: Worker processes (1 = inline, None/0 = all cores).
+        batch: Trials propagated per ``forward_from_batch`` call (1 =
+            the serial per-trial path).  An execution knob, not part of
+            the campaign identity: results, checkpoints and metric
+            counters are bit-identical for every value (the batched
+            engine replays the serial arithmetic exactly), so it is
+            deliberately *not* in :class:`CampaignSpec` or the
+            checkpoint fingerprint — a campaign checkpointed at one
+            batch size resumes correctly at another.
         chunk: Trials per inter-process message.
         checkpoint: JSONL checkpoint path; completed trials are
             periodically snapshotted there (atomically).
@@ -764,7 +908,7 @@ def run_campaign(
                 # functools.partial (not a lambda) so the factory pickles
                 # into workers.
                 map_trials(
-                    partial(_SafeTrialTask, spec, spans),
+                    partial(_SafeTrialTask, spec, spans, batch),
                     n_trials=0,
                     jobs=jobs,
                     chunk=chunk,

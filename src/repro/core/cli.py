@@ -66,6 +66,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--storage-dtype", choices=sorted(DTYPES), default=None,
                         help="Proteus-style reduced-precision buffer storage")
     parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--batch", type=int, default=1,
+                        help="trials propagated per batched forward pass "
+                             "(1 = serial; results are bit-identical)")
     parser.add_argument("--out", default=None, help="write the JSON summary here")
     resilience = parser.add_argument_group("resilience (docs/resilience.md)")
     resilience.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -114,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_campaign(
             spec,
             jobs=args.jobs,
+            batch=args.batch,
             checkpoint=args.checkpoint,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,

@@ -14,6 +14,20 @@ Two engines, matching the paper's two fault origins:
 Both consume a cached golden :class:`~repro.nn.network.InferenceResult`
 so each injection costs only the corrupted chain(s) plus a partial
 forward pass from the fault layer onward.
+
+Each engine is split into two separable stages:
+
+- ``prepare_*`` builds the corruption — it replays the corrupted MAC
+  chain(s), decides maskedness, and produces a
+  :class:`PreparedInjection` holding the patched activation plus the
+  input-row span the corruption is confined to;
+- :func:`finish_injection` propagates a prepared corruption through the
+  network tail.
+
+``inject_datapath`` / ``inject_buffer`` compose the two for the serial
+path; the campaign runner instead prepares a whole chunk of trials,
+groups them by resume layer, and propagates each group in one call to
+:meth:`~repro.nn.network.Network.forward_from_batch`.
 """
 
 from __future__ import annotations
@@ -28,7 +42,16 @@ from repro.nn.network import InferenceResult, Network
 from repro.core.fault import BufferFault, DatapathFault
 from repro.obs.spans import span
 
-__all__ = ["InjectionResult", "replay_chain", "inject_datapath", "inject_buffer"]
+__all__ = [
+    "InjectionResult",
+    "PreparedInjection",
+    "replay_chain",
+    "prepare_datapath",
+    "prepare_buffer",
+    "finish_injection",
+    "inject_datapath",
+    "inject_buffer",
+]
 
 
 @dataclass
@@ -53,6 +76,32 @@ class InjectionResult:
     value_after: float
     resume_index: int
     faulty_activations: list[np.ndarray] = field(default_factory=list)
+
+
+@dataclass
+class PreparedInjection:
+    """A corruption that has been built but not yet propagated.
+
+    Attributes:
+        resume_index: Layer index execution must resume from.
+        masked: True when the flip changed no architecturally visible
+            value; no propagation is needed.
+        value_before: Victim value before corruption.
+        value_after: Victim value after corruption.
+        act: Corrupted input to ``layers[resume_index]`` (``None`` when
+            masked).
+        dirty_rows: Half-open row span ``(r0, r1)`` of ``act`` confining
+            the corruption, in the fmap's h dimension; ``None`` when the
+            corruption may be anywhere (FC-stage faults, whole-layer
+            weight faults).
+    """
+
+    resume_index: int
+    masked: bool
+    value_before: float
+    value_after: float
+    act: np.ndarray | None = None
+    dirty_rows: tuple[int, int] | None = None
 
 
 def replay_chain(
@@ -151,15 +200,32 @@ def _masked_result(golden: InferenceResult, resume_index: int, value: float) -> 
     )
 
 
-def inject_datapath(
+def finish_injection(
     network: Network,
     dtype: DataType,
-    fault: DatapathFault,
+    prep: PreparedInjection,
     golden: InferenceResult,
     record: bool = False,
     storage_dtype: DataType | None = None,
 ) -> InjectionResult:
-    """Inject one datapath-latch fault and run the inference to the end.
+    """Propagate a prepared corruption through the network tail."""
+    if prep.masked:
+        return _masked_result(golden, prep.resume_index, prep.value_before)
+    assert prep.act is not None
+    return _patched_resume(
+        network, dtype, prep.resume_index, prep.act, prep.value_before,
+        prep.value_after, record, storage_dtype=storage_dtype,
+    )
+
+
+def prepare_datapath(
+    network: Network,
+    dtype: DataType,
+    fault: DatapathFault,
+    golden: InferenceResult,
+    storage_dtype: DataType | None = None,
+) -> PreparedInjection:
+    """Build (without propagating) one datapath-latch corruption.
 
     Args:
         network: Target network (weights untouched).
@@ -167,8 +233,6 @@ def inject_datapath(
         fault: Fault site (see :class:`~repro.core.fault.DatapathFault`).
         golden: Fault-free inference (with recorded activations) of the
             same input under the same formats.
-        record: Keep the faulty activations of the resumed segment (for
-            detector evaluation and propagation tracing).
         storage_dtype: Reduced-precision buffer storage format, when the
             golden run used one (Proteus protocol, paper section 6.1).
     """
@@ -185,23 +249,40 @@ def inject_datapath(
             clean = float(storage_dtype.quantize(np.array([clean]))[0])
             faulty = float(storage_dtype.quantize(np.array([faulty]))[0])
         if faulty == clean or (np.isnan(faulty) and np.isnan(clean)):
-            return _masked_result(golden, fault.layer_index + 1, clean)
+            return PreparedInjection(fault.layer_index + 1, True, clean, clean)
         act = golden.activations[fault.layer_index + 1].copy()
         act[fault.out_index] = faulty
-    return _patched_resume(
-        network, dtype, fault.layer_index + 1, act, clean, faulty, record,
-        storage_dtype=storage_dtype,
+    rows = (
+        (fault.out_index[1], fault.out_index[1] + 1)
+        if len(fault.out_index) == 3
+        else None  # FC output: no spatial locality to exploit
     )
+    return PreparedInjection(fault.layer_index + 1, False, clean, faulty, act, rows)
 
 
-def _inject_layer_weight(
+def inject_datapath(
+    network: Network,
+    dtype: DataType,
+    fault: DatapathFault,
+    golden: InferenceResult,
+    record: bool = False,
+    storage_dtype: DataType | None = None,
+) -> InjectionResult:
+    """Inject one datapath-latch fault and run the inference to the end.
+
+    Equivalent to :func:`prepare_datapath` + :func:`finish_injection`.
+    """
+    prep = prepare_datapath(network, dtype, fault, golden, storage_dtype)
+    return finish_injection(network, dtype, prep, golden, record, storage_dtype)
+
+
+def _prepare_layer_weight(
     network: Network,
     dtype: DataType,
     fault: BufferFault,
     golden: InferenceResult,
-    record: bool,
     storage_dtype: DataType | None,
-) -> InjectionResult:
+) -> PreparedInjection:
     """Filter-SRAM fault: one weight corrupted for the whole layer."""
     layer = network.layers[fault.layer_index]
     w, b = layer.quantized_weights(dtype)
@@ -209,27 +290,24 @@ def _inject_layer_weight(
     before = float(store.quantize(np.array([w[fault.victim]]))[0])
     after = float(store.flip_bits(np.array([before]), fault.bit, fault.burst)[0])
     if after == before:
-        return _masked_result(golden, fault.layer_index + 1, before)
+        return PreparedInjection(fault.layer_index + 1, True, before, before)
     w_bad = w.copy()
     w_bad[fault.victim] = dtype.quantize(np.array([after]))[0]
     x = golden.activations[fault.layer_index]
     y = layer.forward_with_weights(x[None], dtype, w_bad, b)[0]
     if storage_dtype is not None and fault.layer_index in network.block_output_indices():
         y = storage_dtype.quantize(y)
-    return _patched_resume(
-        network, dtype, fault.layer_index + 1, y, before, after, record,
-        storage_dtype=storage_dtype,
-    )
+    # Every output element read the corrupted weight: nothing is confined.
+    return PreparedInjection(fault.layer_index + 1, False, before, after, y, None)
 
 
-def _inject_next_layer(
+def _prepare_next_layer(
     network: Network,
     dtype: DataType,
     fault: BufferFault,
     golden: InferenceResult,
-    record: bool,
     storage_dtype: DataType | None,
-) -> InjectionResult:
+) -> PreparedInjection:
     """Global-Buffer fault: one stored ACT corrupted for all consumers.
 
     The flip happens in the *storage* representation: under the Proteus
@@ -240,23 +318,20 @@ def _inject_next_layer(
     before = float(x[fault.victim])
     after = float(store.flip_bits(np.array([before]), fault.bit, fault.burst)[0])
     if after == before:
-        return _masked_result(golden, fault.layer_index, before)
+        return PreparedInjection(fault.layer_index, True, before, before)
     act = x.copy()
     act[fault.victim] = dtype.quantize(np.array([after]))[0]
-    return _patched_resume(
-        network, dtype, fault.layer_index, act, before, after, record,
-        storage_dtype=storage_dtype,
-    )
+    rows = (fault.victim[1], fault.victim[1] + 1) if len(fault.victim) == 3 else None
+    return PreparedInjection(fault.layer_index, False, before, after, act, rows)
 
 
-def _inject_row_activation(
+def _prepare_row_activation(
     network: Network,
     dtype: DataType,
     fault: BufferFault,
     golden: InferenceResult,
-    record: bool,
     storage_dtype: DataType | None,
-) -> InjectionResult:
+) -> PreparedInjection:
     """Img-REG fault: corrupted ifmap value read by one output row only.
 
     Only the output elements of ``fault.residency_row`` whose windows
@@ -268,24 +343,26 @@ def _inject_row_activation(
     store = storage_dtype or dtype
     x = golden.activations[fault.layer_index]
     before = float(x[fault.victim])
+    _, yy, xx_pos = fault.victim
+    oy = fault.residency_row
+    if not (oy * layer.stride - layer.pad <= yy <= oy * layer.stride - layer.pad + layer.kernel - 1):
+        # Residency row does not read the victim pixel: fault never
+        # consumed.  Checked before any chain/copy work — a miss costs
+        # nothing (this check once ran after the affected-column scan and
+        # the full ifmap copy, doing that work just to discard it).
+        return PreparedInjection(fault.layer_index + 1, True, before, before)
     after = float(store.flip_bits(np.array([before]), fault.bit, fault.burst)[0])
     if after == before:
-        return _masked_result(golden, fault.layer_index + 1, before)
+        return PreparedInjection(fault.layer_index + 1, True, before, before)
 
     x_bad = x.copy()
     x_bad[fault.victim] = dtype.quantize(np.array([after]))[0]
-    _, yy, xx_pos = fault.victim
-    oy = fault.residency_row
     _, _, ow = layer.out_shape(x.shape)
     affected_cols = [
         ox
         for ox in range(ow)
         if ox * layer.stride - layer.pad <= xx_pos <= ox * layer.stride - layer.pad + layer.kernel - 1
     ]
-    if not (oy * layer.stride - layer.pad <= yy <= oy * layer.stride - layer.pad + layer.kernel - 1):
-        # Residency row does not read the victim pixel: fault never consumed.
-        return _masked_result(golden, fault.layer_index + 1, before)
-
     act = golden.activations[fault.layer_index + 1].copy()
     narrow = (
         storage_dtype
@@ -313,24 +390,23 @@ def _inject_row_activation(
     with np.errstate(invalid="ignore"):
         differs = (v_bad != v_ok) & ~(np.isnan(v_bad) & np.isnan(v_ok))
     if not differs.any():
-        return _masked_result(golden, fault.layer_index + 1, before)
+        return PreparedInjection(fault.layer_index + 1, True, before, before)
     for pos, idx in enumerate(indices):
         if differs[pos]:
             act[idx] = v_bad[pos]
-    return _patched_resume(
-        network, dtype, fault.layer_index + 1, act, before, after, record,
-        storage_dtype=storage_dtype,
+    # All patched elements sit in output row ``oy``.
+    return PreparedInjection(
+        fault.layer_index + 1, False, before, after, act, (oy, oy + 1)
     )
 
 
-def _inject_single_read(
+def _prepare_single_read(
     network: Network,
     dtype: DataType,
     fault: BufferFault,
     golden: InferenceResult,
-    record: bool,
     storage_dtype: DataType | None,
-) -> InjectionResult:
+) -> PreparedInjection:
     """PSum-REG fault: identical semantics to a datapath psum latch."""
     *out_index, step = fault.victim
     dp = DatapathFault(
@@ -341,17 +417,37 @@ def _inject_single_read(
         bit=fault.bit,
         burst=fault.burst,
     )
-    return inject_datapath(
-        network, dtype, dp, golden, record=record, storage_dtype=storage_dtype
-    )
+    return prepare_datapath(network, dtype, dp, golden, storage_dtype)
 
 
 _BUFFER_DISPATCH = {
-    "layer_weight": _inject_layer_weight,
-    "next_layer": _inject_next_layer,
-    "row_activation": _inject_row_activation,
-    "single_read": _inject_single_read,
+    "layer_weight": _prepare_layer_weight,
+    "next_layer": _prepare_next_layer,
+    "row_activation": _prepare_row_activation,
+    "single_read": _prepare_single_read,
 }
+
+
+def prepare_buffer(
+    network: Network,
+    dtype: DataType,
+    fault: BufferFault,
+    golden: InferenceResult,
+    storage_dtype: DataType | None = None,
+) -> PreparedInjection:
+    """Build (without propagating) one buffer corruption.
+
+    ``storage_dtype`` enables the Proteus reduced-precision protocol:
+    buffered values (weights, fmaps) live in the narrow storage format,
+    so the flip lands in that representation, while the datapath keeps
+    computing in ``dtype``.
+    """
+    try:
+        handler = _BUFFER_DISPATCH[fault.scope]
+    except KeyError:
+        raise ValueError(f"unknown buffer fault scope {fault.scope!r}") from None
+    with span("inject_buffer"):
+        return handler(network, dtype, fault, golden, storage_dtype)
 
 
 def inject_buffer(
@@ -364,14 +460,7 @@ def inject_buffer(
 ) -> InjectionResult:
     """Inject one buffer fault (dispatching on its reuse scope).
 
-    ``storage_dtype`` enables the Proteus reduced-precision protocol:
-    buffered values (weights, fmaps) live in the narrow storage format,
-    so the flip lands in that representation, while the datapath keeps
-    computing in ``dtype``.
+    Equivalent to :func:`prepare_buffer` + :func:`finish_injection`.
     """
-    try:
-        handler = _BUFFER_DISPATCH[fault.scope]
-    except KeyError:
-        raise ValueError(f"unknown buffer fault scope {fault.scope!r}") from None
-    with span("inject_buffer"):
-        return handler(network, dtype, fault, golden, record, storage_dtype)
+    prep = prepare_buffer(network, dtype, fault, golden, storage_dtype)
+    return finish_injection(network, dtype, prep, golden, record, storage_dtype)

@@ -34,6 +34,8 @@ class ExperimentConfig:
         scale: Network scale profile.
         seed: Root seed.
         jobs: Worker processes for campaigns (1 = inline).
+        batch: Trials propagated per batched forward pass (1 = serial
+            per-trial propagation; results are bit-identical either way).
         trial_timeout: Per-trial seconds before a hung chunk is killed
             and retried (None disables deadlines).
         max_retries: Retry budget per failing chunk / raising trial.
@@ -55,6 +57,7 @@ class ExperimentConfig:
     scale: str = "reduced"
     seed: int = 0
     jobs: int = 1
+    batch: int = 1
     trial_timeout: float | None = None
     max_retries: int = 2
     max_error_frac: float = 0.0
@@ -91,6 +94,7 @@ def campaign(spec: CampaignSpec, jobs: int = 1, cfg: ExperimentConfig | None = N
         if cfg is not None:
             jobs = cfg.jobs
             kwargs = dict(
+                batch=cfg.batch,
                 trial_timeout=cfg.trial_timeout,
                 max_retries=cfg.max_retries,
                 max_error_frac=cfg.max_error_frac,

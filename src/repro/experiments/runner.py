@@ -136,6 +136,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=("reduced", "full"), default="reduced")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (0 = all cores)")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="trials propagated per batched forward pass "
+                             "(1 = serial; results are bit-identical)")
     parser.add_argument("--out", default=None, help="directory for JSON/text artifacts")
     resilience = parser.add_argument_group("resilience (docs/resilience.md)")
     resilience.add_argument("--trial-timeout", type=float, default=None, metavar="SEC",
@@ -172,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
 
     cfg = ExperimentConfig(
         trials=args.trials, scale=args.scale, seed=args.seed, jobs=args.jobs,
+        batch=args.batch,
         trial_timeout=args.trial_timeout, max_retries=args.max_retries,
         max_error_frac=args.max_error_frac, checkpoint_dir=args.checkpoint_dir,
         resume=args.resume, obs_dir=args.obs_dir, progress=args.progress,

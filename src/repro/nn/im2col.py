@@ -10,9 +10,18 @@ All fmaps are NCHW float64 arrays.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
-__all__ = ["conv_out_size", "im2col", "col2im", "patch_indices"]
+__all__ = [
+    "conv_out_size",
+    "im2col",
+    "col2im",
+    "col_indices",
+    "patch_indices",
+    "window_out_span",
+]
 
 
 def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -25,6 +34,22 @@ def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
     if out <= 0:
         raise ValueError(f"invalid geometry: size={size} kernel={kernel} stride={stride} pad={pad}")
     return out
+
+
+def window_out_span(
+    r0: int, r1: int, kernel: int, stride: int, pad: int, out_size: int
+) -> tuple[int, int]:
+    """Output positions whose windows read any input position in ``[r0, r1)``.
+
+    Returns a (possibly empty) half-open span clipped to ``[0, out_size)``;
+    an empty span means no window covers the changed input rows (e.g. a
+    strided sweep that skips them).
+    """
+    lo = -(-(r0 + pad - kernel + 1) // stride)  # ceil division
+    hi = (r1 - 1 + pad) // stride
+    lo = max(0, lo)
+    hi = min(out_size - 1, hi)
+    return (lo, hi + 1) if hi >= lo else (0, 0)
 
 
 def _col_indices(
@@ -44,6 +69,23 @@ def _col_indices(
     return k, i, j, oh, ow
 
 
+@lru_cache(maxsize=512)
+def col_indices(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Cached, read-only :func:`_col_indices` result.
+
+    The index arrays depend only on the window geometry, never on the
+    data, and rebuilding them is a measurable slice of every partial
+    forward pass in an injection campaign; one cache entry per distinct
+    ``(c, h, w, kh, kw, stride, pad)`` covers all four paper networks.
+    """
+    k, i, j, oh, ow = _col_indices(c, h, w, kh, kw, stride, pad)
+    for arr in (k, i, j):
+        arr.setflags(write=False)
+    return k, i, j, oh, ow
+
+
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
     """Unfold sliding windows of ``x`` into columns.
 
@@ -59,7 +101,7 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray
     """
     n, c, h, w = x.shape
     xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
-    k, i, j, oh, ow = _col_indices(c, h, w, kh, kw, stride, pad)
+    k, i, j, oh, ow = col_indices(c, h, w, kh, kw, stride, pad)
     cols = xp[:, k, i, j]  # (n, c*kh*kw, oh*ow)
     return cols.transpose(1, 0, 2).reshape(c * kh * kw, n * oh * ow)
 
@@ -82,7 +124,7 @@ def col2im(
         Gradient w.r.t. the input, shape ``x_shape``.
     """
     n, c, h, w = x_shape
-    k, i, j, oh, ow = _col_indices(c, h, w, kh, kw, stride, pad)
+    k, i, j, oh, ow = col_indices(c, h, w, kh, kw, stride, pad)
     xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=np.float64)
     cols_n = cols.reshape(c * kh * kw, n, oh * ow).transpose(1, 0, 2)
     np.add.at(xp, (slice(None), k, i, j), cols_n)
@@ -117,11 +159,20 @@ def patch_indices(
     """
     _, c, h, w = x_shape
     oy, ox = out_pos
-    ky, kx = np.meshgrid(np.arange(kh), np.arange(kw), indexing="ij")
-    yy = oy * stride - pad + ky.ravel()
-    xx = ox * stride - pad + kx.ravel()
-    yy = np.tile(yy, c)
-    xx = np.tile(xx, c)
-    cc = np.repeat(np.arange(c), kh * kw)
+    cc, ky, kx = _patch_grid(c, kh, kw)
+    yy = oy * stride - pad + ky
+    xx = ox * stride - pad + kx
     valid = (yy >= 0) & (yy < h) & (xx >= 0) & (xx < w)
     return cc, yy, xx, valid
+
+
+@lru_cache(maxsize=128)
+def _patch_grid(c: int, kh: int, kw: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached output-pixel-relative tap grid for :func:`patch_indices`."""
+    ky, kx = np.meshgrid(np.arange(kh), np.arange(kw), indexing="ij")
+    ky = np.tile(ky.ravel(), c)
+    kx = np.tile(kx.ravel(), c)
+    cc = np.repeat(np.arange(c), kh * kw)
+    for arr in (cc, ky, kx):
+        arr.setflags(write=False)
+    return cc, ky, kx

@@ -27,6 +27,9 @@ class ReLU(Layer):
     def out_shape(self, in_shape: Shape) -> Shape:
         return in_shape
 
+    def out_row_span(self, in_shape: Shape, span: tuple[int, int]) -> tuple[int, int]:
+        return span  # elementwise
+
     def forward(self, x: np.ndarray, dtype: DataType | None = None) -> np.ndarray:
         # NaNs (possible after FP bit flips) pass through unchanged: a
         # hardware max(x, 0) comparator forwards the corrupted pattern.

@@ -78,6 +78,16 @@ class Layer(abc.ABC):
         """Number of multiply-accumulate operations per inference."""
         return 0
 
+    def out_row_span(self, in_shape: Shape, span: tuple[int, int]) -> tuple[int, int] | None:
+        """Output rows affected by a change to input rows ``[r0, r1)``.
+
+        Used by the batched propagation engine to recompute only the
+        region a corruption can reach.  ``None`` (the default) means the
+        whole output may change (fully-connected layers, flatten, ...);
+        spatially local layers return the covering output row span.
+        """
+        return None
+
     # -- typed inference --------------------------------------------------- #
     @abc.abstractmethod
     def forward(self, x: np.ndarray, dtype: DataType | None = None) -> np.ndarray:

@@ -1,14 +1,37 @@
-"""2-D convolution layer (the paper's CONV), lowered to im2col + GEMM."""
+"""2-D convolution layer (the paper's CONV), lowered to im2col + GEMM.
+
+The inference GEMM is computed in a *fixed partition* of column tiles
+(whole output rows, grouped to at least ``_TILE_COLS`` columns).  BLAS
+picks different accumulation orders for different matrix extents, so a
+fixed partition is what makes results invariant to how much of the
+output is computed at once: a single sample, a stack of B corrupted
+samples (``Network.forward_from_batch``), or a partial recomputation of
+only the rows a fault can reach (``forward_rows``) all issue GEMM calls
+of identical shapes over identical data and therefore produce
+bit-identical values.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.dtypes.base import DataType
-from repro.nn.im2col import col2im, conv_out_size, im2col, patch_indices
+from repro.nn.im2col import (
+    col2im,
+    col_indices,
+    conv_out_size,
+    im2col,
+    patch_indices,
+    window_out_span,
+)
 from repro.nn.layers.base import MacChain, MacLayer, Shape
 
 __all__ = ["Conv2D"]
+
+#: Minimum output columns per GEMM tile; tiles are whole output rows,
+#: grouped from row 0, so any row-aligned recomputation hits the same
+#: tile boundaries as the full sweep.
+_TILE_COLS = 64
 
 
 class Conv2D(MacLayer):
@@ -83,17 +106,135 @@ class Conv2D(MacLayer):
         weight: np.ndarray,
         bias: np.ndarray,
     ) -> np.ndarray:
-        n = x.shape[0]
-        _, oh, ow = self.out_shape(x.shape[1:])
-        cols = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        _, oh, _ = self.out_shape(x.shape[1:])
+        y = self._gemm_rows(x, weight, bias, 0, oh)
+        return dtype.quantize(y) if dtype is not None else y
+
+    def _rows_per_tile(self, ow: int) -> int:
+        return max(1, _TILE_COLS // ow)
+
+    def _gemm_rows(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        r0: int,
+        r1: int,
+    ) -> np.ndarray:
+        """Float64 GEMM of output rows ``[r0, r1)``; ``r0`` tile-aligned.
+
+        Per-sample GEMM calls over the fixed tile partition: batch
+        composition and row-aligned partial recomputation cannot change
+        a single output bit (see the module docstring).
+        """
+        n, c, h, w = x.shape
+        xp = (
+            np.pad(x, ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)))
+            if self.pad
+            else x
+        )
+        k, i, j, _, ow = col_indices(c, h, w, self.kernel, self.kernel, self.stride, self.pad)
+        c0, c1 = r0 * ow, r1 * ow
+        cols = xp[:, k, i[:, c0:c1], j[:, c0:c1]]  # (n, c*kh*kw, ncols)
         wmat = weight.reshape(self.out_channels, -1)
+        y = np.empty((n, self.out_channels, c1 - c0), dtype=np.float64)
+        step = self._rows_per_tile(ow) * ow
         with np.errstate(invalid="ignore", over="ignore"):
             # inf/NaN operands are legal here: corrupted activations
             # propagate through the GEMM like they would through the MACs.
-            y = wmat @ cols + bias[:, None]
-        y = y.reshape(self.out_channels, n, oh * ow).transpose(1, 0, 2)
-        y = y.reshape(n, self.out_channels, oh, ow)
-        return dtype.quantize(y) if dtype is not None else y
+            for s in range(0, c1 - c0, step):
+                e = min(s + step, c1 - c0)
+                if n == 1:
+                    y[0, :, s:e] = wmat @ cols[0, :, s:e]
+                else:
+                    y[:, :, s:e] = np.matmul(wmat, cols[:, :, s:e])
+            y += bias[:, None]
+        return y.reshape(n, self.out_channels, r1 - r0, ow)
+
+    def forward_rows(
+        self, x: np.ndarray, dtype: DataType | None, r0: int, r1: int
+    ) -> tuple[np.ndarray, int, int]:
+        """Recompute output rows covering ``[r0, r1)`` bit-identically.
+
+        The request is expanded to the canonical tile partition; returns
+        ``(y, a0, a1)`` where ``y`` holds rows ``[a0, a1)`` and equals
+        the same slice of :meth:`forward` on the same input.
+        """
+        _, oh, ow = self.out_shape(x.shape[1:])
+        rpt = self._rows_per_tile(ow)
+        a0 = (r0 // rpt) * rpt
+        a1 = min(oh, -(-r1 // rpt) * rpt)
+        w, b = self.quantized_weights(dtype)
+        y = self._gemm_rows(x, w, b, a0, a1)
+        return (dtype.quantize(y) if dtype is not None else y), a0, a1
+
+    def forward_rows_batch(
+        self,
+        x: np.ndarray,
+        dtype: DataType | None,
+        spans: list[tuple[int, int]],
+    ) -> list[tuple[np.ndarray, int, int]]:
+        """Per-sample row-span recomputation, batched tile by tile.
+
+        For each sample ``b`` of ``x`` this computes exactly what
+        ``forward_rows(x[b:b+1], dtype, *spans[b])`` would — the same
+        aligned span, the same bits — but the work is grouped by canonical
+        tile: every tile GEMM runs at its fixed ``(K, tile_cols)`` shape
+        over a stack holding only the samples whose span covers that
+        tile.  FLOPs stay proportional to each sample's own span while
+        the padding / index-gather / dispatch overhead is paid per tile
+        instead of per sample.
+
+        Args:
+            x: Stacked inputs ``(B, c, h, w)``.
+            spans: Per-sample requested output row spans (non-empty).
+
+        Returns:
+            One ``(y, a0, a1)`` per sample, as :meth:`forward_rows`.
+        """
+        n, c, h, w = x.shape
+        _, oh, ow = self.out_shape((c, h, w))
+        rpt = self._rows_per_tile(ow)
+        weight, bias = self.quantized_weights(dtype)
+        wmat = weight.reshape(self.out_channels, -1)
+        xp = (
+            np.pad(x, ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)))
+            if self.pad
+            else x
+        )
+        k, i, j, _, _ = col_indices(c, h, w, self.kernel, self.kernel, self.stride, self.pad)
+        step = rpt * ow
+        total = oh * ow
+        aligned: list[tuple[int, int]] = []
+        bufs: list[np.ndarray] = []
+        need: dict[int, list[int]] = {}
+        for b, (r0, r1) in enumerate(spans):
+            a0 = (r0 // rpt) * rpt
+            a1 = min(oh, -(-r1 // rpt) * rpt)
+            aligned.append((a0, a1))
+            bufs.append(np.empty((self.out_channels, (a1 - a0) * ow), dtype=np.float64))
+            for t in range(a0 // rpt, -(-a1 // rpt)):
+                need.setdefault(t, []).append(b)
+        with np.errstate(invalid="ignore", over="ignore"):
+            for t, sel in need.items():
+                c0 = t * step
+                c1 = min(c0 + step, total)
+                sub = xp if len(sel) == n else xp[sel]
+                cols = sub[:, k, i[:, c0:c1], j[:, c0:c1]]  # (Bt, K, tc)
+                yt = np.matmul(wmat, cols)  # per-slice canonical GEMMs
+                yt += bias[:, None]
+                for pos, b in enumerate(sel):
+                    o0 = c0 - aligned[b][0] * ow
+                    bufs[b][:, o0 : o0 + (c1 - c0)] = yt[pos]
+        out = []
+        for b, (a0, a1) in enumerate(aligned):
+            y = bufs[b].reshape(self.out_channels, a1 - a0, ow)
+            out.append((dtype.quantize(y) if dtype is not None else y, a0, a1))
+        return out
+
+    def out_row_span(self, in_shape: Shape, span: tuple[int, int]) -> tuple[int, int]:
+        _, oh, _ = self.out_shape(in_shape)
+        return window_out_span(span[0], span[1], self.kernel, self.stride, self.pad, oh)
 
     # -- training ------------------------------------------------------------- #
     def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:

@@ -67,7 +67,16 @@ class Dense(MacLayer):
     ) -> np.ndarray:
         flat = x.reshape(x.shape[0], -1)
         with np.errstate(invalid="ignore", over="ignore"):
-            y = flat @ weight.T + bias
+            if flat.shape[0] == 1:
+                y = flat @ weight.T + bias
+            else:
+                # Per-sample GEMV slices: BLAS accumulation order depends
+                # on the matrix extents, so a fused (n, in) @ (in, out)
+                # product would give each sample different bits than the
+                # (1, in) @ (in, out) call the serial path issues.  The
+                # broadcast matmul runs one identically-shaped call per
+                # sample, keeping batched propagation bit-exact.
+                y = np.matmul(flat[:, None, :], weight.T)[:, 0, :] + bias
         return dtype.quantize(y) if dtype is not None else y
 
     # -- training ------------------------------------------------------------- #

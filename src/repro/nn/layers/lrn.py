@@ -44,30 +44,49 @@ class LRN(Layer):
     def out_shape(self, in_shape: Shape) -> Shape:
         return in_shape
 
+    def out_row_span(self, in_shape: Shape, span: tuple[int, int]) -> tuple[int, int]:
+        # Normalization mixes channels, never spatial positions.
+        return span
+
     def _denominator(self, x: np.ndarray) -> np.ndarray:
         c = x.shape[1]
         with np.errstate(over="ignore", invalid="ignore"):
             sq = x * x
         half = self.n // 2
-        if np.isfinite(sq).all() and (sq.max(initial=0.0) < 1e280 or c <= self.n):
+        with np.errstate(over="ignore", invalid="ignore"):
             # Fast path: sliding-window channel sum via a padded
-            # cumulative sum (O(c)).
+            # cumulative sum (O(c)), computed for every pixel.
             csum = np.cumsum(
                 np.pad(sq, ((0, 0), (1, 0), (0, 0), (0, 0))), axis=1, dtype=np.float64
             )
             lo = np.maximum(np.arange(c) - half, 0)
             hi = np.minimum(np.arange(c) + half, c - 1) + 1
             window = csum[:, hi] - csum[:, lo]
-        else:
-            # Robust path for corrupted runs: a cumulative sum holding an
-            # inf (or a value large enough to overflow it) would poison
-            # every later window with inf - inf = NaN / cancellation; sum
-            # the n shifted slices directly instead, so only windows that
-            # genuinely contain the huge value see it.
-            window = sq.copy()
-            for off in range(1, half + 1):
-                window[:, off:] += sq[:, :-off]
-                window[:, :-off] += sq[:, off:]
+        # Robust path for corrupted pixels: a cumulative sum holding an
+        # inf (or a value large enough to overflow it) would poison every
+        # later window of *that pixel's* channel column with
+        # inf - inf = NaN / cancellation; sum the n shifted slices
+        # directly for exactly those pixels instead.  Path selection is
+        # per pixel — each pixel's window is a function of its own channel
+        # column only — so a clean pixel keeps its fast-path bits no
+        # matter what other pixels (or batch mates) contain, which is what
+        # lets batched and partial-row propagation reproduce the serial
+        # engine exactly.
+        bad = ~np.isfinite(sq)
+        if c > self.n:
+            # With c <= n every window spans all channels, so overflow of
+            # the cumulative sum cannot cancel across window edges; the
+            # finite-but-huge trigger only matters for wider stacks.
+            bad |= sq >= 1e280
+        if bad.any():
+            nsel, ysel, xsel = np.nonzero(bad.any(axis=1))
+            sq_sel = np.ascontiguousarray(sq[nsel, :, ysel, xsel])  # (m, c)
+            win = sq_sel.copy()
+            with np.errstate(over="ignore", invalid="ignore"):
+                for off in range(1, half + 1):
+                    win[:, off:] += sq_sel[:, :-off]
+                    win[:, :-off] += sq_sel[:, off:]
+            window[nsel, :, ysel, xsel] = win
         with np.errstate(over="ignore", invalid="ignore"):
             return np.power(self.k + (self.alpha / self.n) * window, self.beta)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dtypes.base import DataType
-from repro.nn.im2col import col2im, conv_out_size, im2col
+from repro.nn.im2col import col2im, col_indices, conv_out_size, im2col, window_out_span
 from repro.nn.layers.base import Layer, Shape
 
 __all__ = ["MaxPool2D", "GlobalAvgPool"]
@@ -66,6 +66,35 @@ class MaxPool2D(Layer):
         cols, (n, c, oh, ow) = self._window_cols(x)
         y = cols.max(axis=0).reshape(n, c, oh, ow)
         return y  # selection only: values stay representable
+
+    def forward_rows(
+        self, x: np.ndarray, dtype: DataType | None, r0: int, r1: int
+    ) -> tuple[np.ndarray, int, int]:
+        """Compute output rows ``[r0, r1)`` only.
+
+        Window maxima are per-column selections, so any subset of output
+        positions reproduces the full :meth:`forward` bit-for-bit — no
+        tile alignment needed.
+        """
+        n, c, h, w = x.shape
+        _, oh, ow = self.out_shape((c, h, w))
+        if self.pad:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)),
+                constant_values=-np.inf,
+            )
+            h, w = h + 2 * self.pad, w + 2 * self.pad
+        k, i, j, _, _ = col_indices(1, h, w, self.kernel, self.kernel, self.stride, 0)
+        c0, c1 = r0 * ow, r1 * ow
+        flat = x.reshape(n * c, h, w)
+        cols = flat[:, i[:, c0:c1], j[:, c0:c1]]  # (n*c, kh*kw, ncols)
+        y = cols.max(axis=1).reshape(n, c, r1 - r0, ow)
+        return y, r0, r1
+
+    def out_row_span(self, in_shape: Shape, span: tuple[int, int]) -> tuple[int, int]:
+        _, oh, _ = self.out_shape(in_shape)
+        return window_out_span(span[0], span[1], self.kernel, self.stride, self.pad, oh)
 
     def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
         cols, (n, c, oh, ow) = self._window_cols(x)

@@ -108,6 +108,35 @@ def exc_summary(exc: BaseException, frames: int = 3) -> str:
     return " | ".join(tail)[:500]
 
 
+def _batched(task: object) -> bool:
+    """True when a task opts into whole-slice execution.
+
+    A task advertises grouped execution by exposing ``run_many(indices)
+    -> list`` (positionally aligned values) and a ``group_size`` attribute
+    > 1; the campaign's batched-propagation task is the motivating
+    implementation.  Everything else runs one index per call.
+    """
+    return (
+        getattr(task, "group_size", 1) > 1
+        and callable(getattr(task, "run_many", None))
+    )
+
+
+def _run_slice(task, indices: Sequence[int]) -> list[tuple] | None:
+    """Run a whole index slice via ``task.run_many``; None = fall back.
+
+    ``run_many`` implementations are expected to quarantine per-trial
+    failures internally (returning error *values*); an exception escaping
+    the whole slice is treated as "batching itself is broken" and sends
+    the slice down the per-trial path instead.
+    """
+    try:
+        values = task.run_many(list(indices))
+    except Exception:
+        return None
+    return [("ok", i, v) for i, v in zip(indices, values)]
+
+
 def _run_chunk(indices: Sequence[int]) -> list:
     """Worker body: run each trial, capturing per-trial exceptions.
 
@@ -119,15 +148,23 @@ def _run_chunk(indices: Sequence[int]) -> list:
     snapshot and results travel in the same message, so a crashed or
     timed-out chunk loses both together and re-running it can never
     double-count a trial's metrics.
+
+    Tasks that opt in (see :func:`_batched`) receive the whole chunk via
+    ``run_many`` so they can propagate grouped trials in one batched
+    forward pass.
     """
     assert _WORKER_TASK is not None, "worker not initialised"
-    out: list[tuple] = []
+    out: list[tuple] | None = None
     with span("chunk"):
-        for i in indices:
-            try:
-                out.append(("ok", i, _WORKER_TASK(i)))
-            except Exception as exc:
-                out.append(("err", i, type(exc).__name__, exc_summary(exc)))
+        if _batched(_WORKER_TASK):
+            out = _run_slice(_WORKER_TASK, indices)
+        if out is None:
+            out = []
+            for i in indices:
+                try:
+                    out.append(("ok", i, _WORKER_TASK(i)))
+                except Exception as exc:
+                    out.append(("err", i, type(exc).__name__, exc_summary(exc)))
     collect = getattr(_WORKER_TASK, "collect_obs", None)
     if callable(collect):
         out.append(("obs", collect()))
@@ -272,6 +309,11 @@ class _Supervisor:
         while self.pending:
             c = self.pending.popleft()
             with span("chunk"):
+                batched = _run_slice(task, c.indices) if _batched(task) else None
+                if batched is not None:
+                    for _, i, value in batched:
+                        self._record(i, value)
+                    continue
                 for i in c.indices:
                     try:
                         self._record(i, task(i))
@@ -492,12 +534,28 @@ def map_trials(
     if n_jobs == 1 or len(indices) <= 1:
         task = task_factory()
         results = []
-        with span("chunk"):
-            for i in indices:
-                value = task(i)
-                if on_result is not None:
-                    on_result(i, value)
-                results.append(value)
+        if _batched(task) and len(indices) > 1:
+            # Chunk-sized slices bound how many prepared-but-unpropagated
+            # corruptions are held at once and keep on_result streaming.
+            for s in range(0, len(indices), chunk):
+                part = indices[s : s + chunk]
+                with span("chunk"):
+                    batched = _run_slice(task, part)
+                for i, value in (
+                    ((i, v) for _, i, v in batched)
+                    if batched is not None
+                    else ((i, task(i)) for i in part)
+                ):
+                    if on_result is not None:
+                        on_result(i, value)
+                    results.append(value)
+        else:
+            with span("chunk"):
+                for i in indices:
+                    value = task(i)
+                    if on_result is not None:
+                        on_result(i, value)
+                    results.append(value)
         collect = getattr(task, "collect_obs", None)
         if callable(collect) and on_obs is not None:
             on_obs(collect())

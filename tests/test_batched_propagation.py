@@ -1,0 +1,209 @@
+"""Batched fault propagation: bit-exactness, golden immutability, parity.
+
+The campaign hot path groups prepared corruptions by resume layer and
+propagates each group through ``Network.forward_from_batch``.  The
+contract is byte-identity with the serial ``forward_from`` path — per
+trial, on scores and on every recorded activation — which these tests
+enforce over mixed datapath and buffer faults, with and without the
+Proteus storage narrowing, for both the plain stacked engine and the
+delta engine (goldens + dirty row spans).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignSpec, run_campaign
+from repro.core.fault import BufferFault, sample_buffer_fault, sample_datapath_fault
+from repro.core.injector import finish_injection, prepare_buffer, prepare_datapath
+from repro.dtypes import DTYPES, FLOAT16
+from repro.utils.rng import child_rng
+from tests.conftest import build_tiny_network
+
+BUFFER_SCOPES = ("layer_weight", "row_activation", "next_layer", "single_read")
+
+
+def golden_bytes(golden):
+    return (golden.scores.tobytes(), [a.tobytes() for a in golden.activations])
+
+
+def sample_preps(network, golden, storage_dtype, n=40, seed=42):
+    """Mixed datapath + buffer preparations, serially seeded like a campaign."""
+    preps = []
+    for t in range(n):
+        rng = child_rng(seed, t)
+        if t % 2 == 0:
+            fault = sample_datapath_fault(network, FLOAT16, rng)
+            prep = prepare_datapath(network, FLOAT16, fault, golden, storage_dtype)
+        else:
+            scope = BUFFER_SCOPES[(t // 2) % len(BUFFER_SCOPES)]
+            fault = sample_buffer_fault(
+                network, scope, storage_dtype or FLOAT16, rng
+            )
+            prep = prepare_buffer(network, FLOAT16, fault, golden, storage_dtype)
+        preps.append(prep)
+    return preps
+
+
+@pytest.fixture(params=[None, "FLOAT16"], ids=["plain-storage", "proteus-storage"])
+def storage(request):
+    return DTYPES[request.param] if request.param else None
+
+
+class TestSerialBatchedEquivalence:
+    def test_batch_matches_serial_bytes(self, tiny_input, storage):
+        network = build_tiny_network()
+        golden = network.forward(
+            tiny_input, dtype=FLOAT16, record=True, storage_dtype=storage
+        )
+        preps = [p for p in sample_preps(network, golden, storage) if not p.masked]
+        assert len(preps) >= 8  # the mix must actually exercise the batch
+        groups: dict[int, list] = {}
+        for prep in preps:
+            groups.setdefault(prep.resume_index, []).append(prep)
+        assert len(groups) >= 2  # several distinct resume layers
+        for resume_index, items in groups.items():
+            serial = [
+                network.forward_from(
+                    resume_index, p.act, dtype=FLOAT16, record=True,
+                    storage_dtype=storage,
+                )
+                for p in items
+            ]
+            plain = network.forward_from_batch(
+                resume_index, [p.act for p in items], dtype=FLOAT16,
+                record=True, storage_dtype=storage,
+            )
+            delta = network.forward_from_batch(
+                resume_index, [p.act for p in items], dtype=FLOAT16,
+                record=True, storage_dtype=storage,
+                goldens=[golden] * len(items),
+                dirty_rows=[p.dirty_rows for p in items],
+            )
+            for batch in (plain, delta):
+                for b, ref in enumerate(serial):
+                    got = batch.result(b)
+                    assert got.scores.tobytes() == ref.scores.tobytes()
+                    assert len(got.activations) == len(ref.activations)
+                    for mine, theirs in zip(got.activations, ref.activations):
+                        assert mine.tobytes() == theirs.tobytes()
+
+    def test_batch_boundary_echoes_inputs(self, tiny_network, tiny_input):
+        """resume index == len(layers) runs zero layers, like forward_from."""
+        full = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        end = len(tiny_network.layers)
+        acts = [full.activations[end], full.activations[end] * 0.5]
+        batch = tiny_network.forward_from_batch(end, acts, dtype=FLOAT16)
+        for b, act in enumerate(acts):
+            assert np.array_equal(batch.scores[b], act.ravel())
+        with pytest.raises(IndexError):
+            tiny_network.forward_from_batch(end + 1, acts, dtype=FLOAT16)
+
+    def test_batch_rejects_empty_and_bad_shapes(self, tiny_network, tiny_input):
+        with pytest.raises(ValueError):
+            tiny_network.forward_from_batch(0, [], dtype=FLOAT16)
+        with pytest.raises(ValueError):
+            tiny_network.forward_from_batch(0, [np.zeros((1, 2, 3))], dtype=FLOAT16)
+
+
+class TestGoldenImmutability:
+    """Injection must never write into the shared golden result.
+
+    The delta engine passes golden activations *by reference* into
+    masked trials' outputs, so one stray in-place write would corrupt
+    every later trial on the same input.  Covers masked and unmasked
+    preparations of all four buffer scopes.
+    """
+
+    def test_all_scopes_leave_golden_untouched(self, tiny_input):
+        network = build_tiny_network()
+        golden = network.forward(tiny_input, dtype=FLOAT16, record=True)
+        before = golden_bytes(golden)
+        masked_seen = set()
+        for scope in BUFFER_SCOPES:
+            for t in range(40):
+                bit = 15 if scope == "next_layer" else None  # sign flips hit zeros
+                fault = sample_buffer_fault(
+                    network, scope, FLOAT16, child_rng(42, t), bit=bit
+                )
+                prep = prepare_buffer(network, FLOAT16, fault, golden)
+                if prep.masked:
+                    masked_seen.add(scope)
+                finish_injection(network, FLOAT16, prep, golden, record=True)
+                assert golden_bytes(golden) == before, (scope, t)
+        assert masked_seen >= {"row_activation", "next_layer", "single_read"}
+
+    def test_layer_weight_masked_path(self, tiny_input):
+        # A sign flip on a zero weight is the one layer_weight fault that
+        # masks at preparation time (the flipped word compares equal).
+        network = build_tiny_network()
+        network.layers[0].weight[0, 0, 0, 0] = 0.0
+        golden = network.forward(tiny_input, dtype=FLOAT16, record=True)
+        before = golden_bytes(golden)
+        fault = BufferFault(
+            scope="layer_weight", layer_index=0, victim=(0, 0, 0, 0), bit=15
+        )
+        prep = prepare_buffer(network, FLOAT16, fault, golden)
+        assert prep.masked
+        result = finish_injection(network, FLOAT16, prep, golden, record=True)
+        assert result.masked
+        assert result.scores.tobytes() == golden.scores.tobytes()
+        assert golden_bytes(golden) == before
+
+
+class TestRowActivationResidencyMiss:
+    def test_miss_short_circuits_before_chain_replay(self, tiny_input):
+        """A residency row that never reads the victim must cost nothing.
+
+        The miss check sits before any chain replay or fmap copy; if the
+        engine regresses to scanning affected columns first, the
+        monkeypatched ``mac_operands`` below fires and fails the test.
+        """
+        network = build_tiny_network()
+        golden = network.forward(tiny_input, dtype=FLOAT16, record=True)
+        layer = network.layers[0]  # c1: 3x3 kernel, pad 1, stride 1
+
+        def boom(*args, **kwargs):
+            raise AssertionError("residency miss must not replay MAC chains")
+
+        layer.mac_operands = boom
+        # Victim pixel row 0; residency row 7's window covers rows 6..8.
+        fault = BufferFault(
+            scope="row_activation", layer_index=0, victim=(0, 0, 0), bit=3,
+            residency_row=7,
+        )
+        prep = prepare_buffer(network, FLOAT16, fault, golden)
+        assert prep.masked
+
+
+class TestCampaignBatchParity:
+    """``batch`` is an execution knob: records and deterministic metric
+    counters must be byte-identical at every group size."""
+
+    SPECS = [
+        CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=30, seed=11),
+        CampaignSpec(
+            network="ConvNet", dtype="FLOAT16", target="row_activation",
+            n_trials=20, seed=12,
+        ),
+        CampaignSpec(
+            network="ConvNet", dtype="32b_rb10", storage_dtype="16b_rb10",
+            n_trials=20, seed=13,
+        ),
+    ]
+
+    @staticmethod
+    def _same_value(a: float, b: float) -> bool:
+        return a == b or (a != a and b != b)
+
+    @pytest.mark.parametrize("spec", SPECS, ids=["datapath", "buffer", "proteus"])
+    def test_batched_campaign_matches_serial(self, spec):
+        serial = run_campaign(spec, jobs=1, batch=1)
+        batched = run_campaign(spec, jobs=1, batch=8)
+        assert len(serial.records) == len(batched.records) == spec.n_trials
+        for a, b in zip(serial.records, batched.records):
+            assert a.outcome == b.outcome
+            assert (a.bit, a.site, a.block) == (b.bit, b.site, b.block)
+            assert self._same_value(a.value_before, b.value_before)
+            assert self._same_value(a.value_after, b.value_after)
+        assert serial.metrics["counters"] == batched.metrics["counters"]
+        assert serial.metrics["histograms"] == batched.metrics["histograms"]

@@ -85,6 +85,45 @@ class TestExecution:
         assert np.array_equal(a.scores, b.scores)
 
 
+class TestTopkTieBreak:
+    """``topk(1)[0] == top1()`` must hold for *every* score vector.
+
+    ``top1`` is ``np.argmax`` (first maximal index, NaN wins); the old
+    reversed-stable-argsort ``topk`` broke ties toward the highest index
+    and disagreed with it, which flipped outcome classifications on tied
+    scores.
+    """
+
+    from repro.nn import InferenceResult
+
+    VECTORS = [
+        np.array([0.2, 0.5, 0.5, 0.1]),          # interior tie
+        np.array([0.5, 0.5, 0.5, 0.5]),          # all tied
+        np.array([1.0, 0.0, 1.0]),               # tie with leading max
+        np.array([0.1, np.nan, 0.3]),            # NaN ranks first (argmax)
+        np.array([np.nan, np.nan, 0.3]),         # tied NaNs: lowest index
+        np.array([-np.inf, -np.inf, -1.0]),      # ties at -inf
+        np.zeros(6),                             # degenerate all-zero
+    ]
+
+    @pytest.mark.parametrize("scores", VECTORS)
+    def test_topk_agrees_with_top1(self, scores):
+        res = self.InferenceResult(scores=scores)
+        assert res.topk(1)[0] == res.top1()
+
+    @pytest.mark.parametrize("scores", VECTORS)
+    def test_topk_ties_break_by_lowest_index(self, scores):
+        res = self.InferenceResult(scores=scores)
+        order = res.topk(len(scores))
+        assert sorted(order) == list(range(len(scores)))  # a permutation
+        # Equal scores (and NaN runs) must appear in ascending index order.
+        s = res.scores
+        for a, b in zip(order, order[1:]):
+            both_nan = np.isnan(s[a]) and np.isnan(s[b])
+            if s[a] == s[b] or both_nan:
+                assert a < b
+
+
 class TestResume:
     def test_resume_matches_full_run(self, tiny_network, tiny_input):
         full = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
@@ -99,6 +138,21 @@ class TestResume:
     def test_resume_index_checked(self, tiny_network, tiny_input):
         with pytest.raises(IndexError):
             tiny_network.forward_from(99, tiny_input)
+
+    def test_resume_at_len_echoes_scores(self, tiny_network, tiny_input):
+        """``len(layers)`` is in range: zero layers run, input echoed.
+
+        That is the natural resume point for a fault landing in the final
+        output buffer; the old bound rejected it as out of range.
+        """
+        full = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
+        end = len(tiny_network.layers)
+        echoed = tiny_network.forward_from(end, full.activations[end], dtype=FLOAT16)
+        assert np.array_equal(echoed.scores, full.scores)
+        with pytest.raises(IndexError):
+            tiny_network.forward_from(end + 1, full.activations[end], dtype=FLOAT16)
+        with pytest.raises(IndexError):
+            tiny_network.forward_from(-1, full.activations[0], dtype=FLOAT16)
 
     def test_resume_records_segment(self, tiny_network, tiny_input):
         full = tiny_network.forward(tiny_input, dtype=FLOAT16, record=True)
