@@ -7,6 +7,8 @@ so the in-process campaign memo removes duplicate work.
 
 from repro.experiments.common import ExperimentConfig
 
+__all__ = ["TRIALS", "BENCH_CFG"]
+
 #: Injections per campaign for benchmark runs.
 TRIALS = 250
 

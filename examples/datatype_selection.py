@@ -54,7 +54,7 @@ def main() -> None:
         fit = sum(c.fit for c in datapath_fit(dp, {"datapath": sdc.p}))
         acc = fidelity(network, inputs, name)
         rows.append([name, f"{acc:.0%}", str(sdc), f"{fit:.4g}"])
-        if acc == 1.0 and (best is None or fit < best[1]):
+        if acc >= 1.0 and (best is None or fit < best[1]):
             best = (name, fit)
 
     print(format_table(

@@ -1,0 +1,270 @@
+"""Package-local call graph for cross-function flow propagation.
+
+The RP6xx rules must see through one level of indirection that a purely
+syntactic rule cannot: a helper that returns ``time.time()``, a factory
+that materializes a float64 array, a worker entry point that calls three
+functions before one of them mutates module state.  This module indexes
+every function and method defined in the linted file set, resolves the
+statically-resolvable calls between them (same-module names, imported
+names, module-alias attributes, ``self`` methods), and offers
+reachability with parent links so findings can render the full chain.
+
+Resolution is deliberately conservative: dynamic dispatch, higher-order
+calls and duck-typed method calls stay unresolved rather than guessed —
+an unresolved call simply ends the propagation, it never invents a flow.
+Imported modules are matched by dotted-name *suffix* so the index works
+for any checkout layout (``src/repro/...``, a tmp fixture tree, a flat
+package) without sys.path knowledge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.engine import FileContext, ProjectContext
+
+__all__ = ["FunctionInfo", "CallSite", "CallGraph", "build_callgraph", "module_name_of"]
+
+
+def module_name_of(display_path: str) -> str:
+    """Dotted module name derived from a file path.
+
+    ``src/repro/core/checkpoint.py`` -> ``src.repro.core.checkpoint``;
+    consumers match by suffix (``repro.core.checkpoint``), so leading
+    layout directories are harmless.
+    """
+    parts = [p for p in display_path.replace("\\", "/").strip("/").split("/") if p not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the linted set."""
+
+    qualname: str  #: ``<module>:<name>`` or ``<module>:<Class>.<name>``
+    module: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: "FileContext"
+    params: tuple[str, ...] = ()
+
+    @property
+    def display(self) -> str:
+        """Human name (``Class.method`` or ``function``)."""
+        return f"{self.class_name}.{self.name}" if self.class_name else self.name
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """An edge in the call graph: ``caller`` invokes ``callee`` at ``node``."""
+
+    caller: str
+    callee: str
+    node: ast.Call = field(compare=False, hash=False)
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    return tuple(names)
+
+
+class CallGraph:
+    """Function index + resolved static call edges over a lint run."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        #: module -> local binding ("f", "Class.m") -> qualname
+        self._locals: dict[str, dict[str, str]] = {}
+        #: module -> alias -> imported target (dotted module, or "mod:attr")
+        self._imports: dict[str, dict[str, str]] = {}
+        #: dotted module name -> itself (exact) for suffix resolution
+        self._modules: list[str] = []
+        #: caller qualname -> resolved call sites
+        self._edges: dict[str, list[CallSite]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def index_file(self, ctx: "FileContext") -> None:
+        module = module_name_of(ctx.display_path)
+        self._modules.append(module)
+        self._locals.setdefault(module, {})
+        imports = self._imports.setdefault(module, {})
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name != "*":
+                        imports[alias.asname or alias.name] = f"{node.module}:{alias.name}"
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, None, stmt, ctx)
+            elif isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(module, stmt.name, sub, ctx)
+
+    def _add_function(
+        self,
+        module: str,
+        class_name: str | None,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: "FileContext",
+    ) -> None:
+        local = f"{class_name}.{node.name}" if class_name else node.name
+        qualname = f"{module}:{local}"
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module,
+            name=node.name,
+            class_name=class_name,
+            node=node,
+            ctx=ctx,
+            params=_param_names(node),
+        )
+        self.functions[qualname] = info
+        self._locals.setdefault(module, {})[local] = qualname
+
+    def finalize(self) -> None:
+        """Resolve call edges once every file has been indexed."""
+        for info in self.functions.values():
+            edges: list[CallSite] = []
+            for call in self._calls_in(info.node):
+                callee = self.resolve_call(info, call)
+                if callee is not None:
+                    edges.append(CallSite(caller=info.qualname, callee=callee.qualname, node=call))
+            self._edges[info.qualname] = edges
+
+    @staticmethod
+    def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+        """Calls lexically inside ``node``, not descending into nested defs."""
+        todo: list[ast.AST] = list(ast.iter_child_nodes(node))
+        while todo:
+            sub = todo.pop()
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+                continue
+            if isinstance(sub, ast.Call):
+                yield sub
+            todo.extend(ast.iter_child_nodes(sub))
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_module(self, dotted: str) -> str | None:
+        """Indexed module matching ``dotted`` exactly or as a suffix."""
+        if dotted in self._locals:
+            return dotted
+        tail = "." + dotted
+        matches = [m for m in self._modules if m.endswith(tail)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def import_target(self, module: str, name: str) -> tuple[str, str] | None:
+        """Resolve ``name`` imported into ``module`` via ``from m import x``.
+
+        Returns ``(defining_module, original_name)`` when the import
+        resolves to an indexed module, else None.  Used by the fork rules
+        to see cross-module mutations of imported module-level state.
+        """
+        imported = self._imports.get(module, {}).get(name)
+        if imported is None or ":" not in imported:
+            return None
+        mod, attr = imported.split(":", 1)
+        resolved = self.resolve_module(mod)
+        if resolved is None:
+            return None
+        return (resolved, attr)
+
+    def _lookup(self, module: str, local: str) -> FunctionInfo | None:
+        qualname = self._locals.get(module, {}).get(local)
+        return self.functions.get(qualname) if qualname else None
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> FunctionInfo | None:
+        """Statically resolve ``call`` made from inside ``caller``."""
+        return self.resolve_callable(caller.module, call.func, caller.class_name)
+
+    def resolve_callable(
+        self, module: str, func: ast.expr, class_name: str | None = None
+    ) -> FunctionInfo | None:
+        imports = self._imports.get(module, {})
+        if isinstance(func, ast.Name):
+            target = self._lookup(module, func.id)
+            if target is not None and target.class_name is None:
+                return target
+            imported = imports.get(func.id)
+            if imported and ":" in imported:
+                mod, attr = imported.split(":", 1)
+                resolved = self.resolve_module(mod)
+                if resolved:
+                    # `from m import f` — f may be a function or a class
+                    # (constructor calls resolve to __init__ if indexed).
+                    return self._lookup(resolved, attr) or self._lookup(
+                        resolved, f"{attr}.__init__"
+                    )
+            # Calling a locally-defined class constructs it: map to __init__.
+            if target is None and class_name is None:
+                return self._lookup(module, f"{func.id}.__init__")
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base == "self" and class_name is not None:
+                return self._lookup(module, f"{class_name}.{attr}")
+            imported = imports.get(base)
+            if imported and ":" not in imported:
+                resolved = self.resolve_module(imported)
+                if resolved:
+                    return self._lookup(resolved, attr)
+            if imported and ":" in imported:
+                # `from pkg import mod` then `mod.f(...)`
+                mod, sub = imported.split(":", 1)
+                resolved = self.resolve_module(f"{mod}.{sub}")
+                if resolved:
+                    return self._lookup(resolved, attr)
+        return None
+
+    # -- traversal ----------------------------------------------------------
+
+    def callees(self, qualname: str) -> list[CallSite]:
+        """Resolved call sites made from ``qualname``."""
+        return self._edges.get(qualname, [])
+
+    def reachable_from(self, roots: list[str]) -> dict[str, CallSite | None]:
+        """BFS over call edges; value is the edge that first reached the key.
+
+        Roots map to ``None``.  The parent links reconstruct one concrete
+        entry-point -> function chain for finding traces.
+        """
+        parent: dict[str, CallSite | None] = {root: None for root in roots if root in self.functions}
+        queue = sorted(parent)
+        while queue:
+            current = queue.pop(0)
+            for site in self.callees(current):
+                if site.callee not in parent:
+                    parent[site.callee] = site
+                    queue.append(site.callee)
+        return parent
+
+
+def build_callgraph(project: "ProjectContext") -> CallGraph:
+    """Build (and cache on the project) the call graph for a lint run."""
+    cached = project.cache.get("callgraph")
+    if isinstance(cached, CallGraph):
+        return cached
+    graph = CallGraph()
+    for ctx in project.files:
+        graph.index_file(ctx)
+    graph.finalize()
+    project.cache["callgraph"] = graph
+    return graph

@@ -1,0 +1,259 @@
+"""Intraprocedural control-flow graphs over the Python AST.
+
+The flow-aware RP6xx rules need more than per-node pattern matching:
+a ``time.time()`` read three assignments away from the seed it poisons
+is invisible to :func:`ast.walk`.  This module turns one function body
+(or a module's top level) into a statement-level CFG that the worklist
+solver in :mod:`repro.analysis.dataflow` iterates to a fixpoint.
+
+Design notes:
+
+- Blocks hold whole ``ast.stmt`` nodes.  Compound statements (``if``,
+  ``while``, ``for``, ``try``, ``match``) appear in their *head* block so
+  transfer functions can inspect the test/iter expression (walrus
+  bindings, loop targets) — their bodies live in successor blocks and
+  must not be descended into by transfers.
+- ``try`` is approximated conservatively: every block created while
+  visiting the try body gets an edge to every handler head, since any
+  statement may raise.
+- Nested ``def``/``class`` statements are atomic: the body of a nested
+  function does not execute at its definition site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with explicit CFG edges.
+
+    ``statements`` is typed :class:`ast.AST` rather than :class:`ast.stmt`
+    because ``except`` clauses (:class:`ast.ExceptHandler`, which carry
+    the ``as e`` binding) ride along as pseudo-statements.
+    """
+
+    index: int
+    statements: list[ast.AST] = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+    predecessors: set[int] = field(default_factory=set)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph for one function body (entry is block 0)."""
+
+    blocks: list[BasicBlock]
+    entry: int = 0
+
+    def rpo(self) -> list[int]:
+        """Reverse-postorder block indices from the entry (loop-friendly)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(index: int) -> None:
+            # Iterative DFS: deep nesting must not hit the recursion limit.
+            stack: list[tuple[int, list[int]]] = [(index, sorted(self.blocks[index].successors))]
+            seen.add(index)
+            while stack:
+                node, todo = stack[-1]
+                while todo:
+                    nxt = todo.pop(0)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, sorted(self.blocks[nxt].successors)))
+                        break
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        return order[::-1]
+
+
+class _Builder:
+    """One-pass recursive CFG construction with a loop/exception stack."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.current = self._new_block()
+        #: (continue-target block index, list of break-source block indices)
+        self.loops: list[tuple[int, list[int]]] = []
+        #: While inside a try body: handler head indices to wire raises to.
+        self.handler_heads: list[list[int]] = []
+        self.terminated = False
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].successors.add(dst)
+        self.blocks[dst].predecessors.add(src)
+
+    def _start_block(self, *preds: int) -> BasicBlock:
+        block = self._new_block()
+        for pred in preds:
+            self._edge(pred, block.index)
+        self.current = block
+        self.terminated = False
+        return block
+
+    def _append(self, stmt: ast.AST) -> None:
+        if self.terminated:
+            # Unreachable code after return/raise/break: park it in a
+            # fresh predecessor-less block so transfers still see it.
+            self._start_block()
+        self.current.statements.append(stmt)
+        for heads in self.handler_heads:
+            for head in heads:
+                self._edge(self.current.index, head)
+
+    # -- statement dispatch -------------------------------------------------
+
+    def visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        handler = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if handler is not None:
+            handler(stmt)
+        else:
+            self._append(stmt)
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                self.terminated = True
+
+    def visit_If(self, stmt: ast.If) -> None:
+        self._append(stmt)
+        head = self.current.index
+        exits: list[int] = []
+        self._start_block(head)
+        self.visit_body(stmt.body)
+        if not self.terminated:
+            exits.append(self.current.index)
+        if stmt.orelse:
+            self._start_block(head)
+            self.visit_body(stmt.orelse)
+            if not self.terminated:
+                exits.append(self.current.index)
+        else:
+            exits.append(head)
+        self._start_block(*exits)
+
+    def _visit_loop(self, stmt: ast.stmt, body: Sequence[ast.stmt], orelse: Sequence[ast.stmt]) -> None:
+        if self.terminated:
+            self._start_block()
+        before = self.current.index
+        self._start_block(before)
+        self._append(stmt)
+        head_index = self.current.index
+        breaks: list[int] = []
+        self.loops.append((head_index, breaks))
+        self._start_block(head_index)
+        self.visit_body(body)
+        if not self.terminated:
+            self._edge(self.current.index, head_index)
+        self.loops.pop()
+        exits = [head_index]
+        if orelse:
+            self._start_block(head_index)
+            self.visit_body(orelse)
+            if not self.terminated:
+                exits = [self.current.index]
+            else:
+                exits = []
+        self._start_block(*(exits + breaks))
+
+    def visit_While(self, stmt: ast.While) -> None:
+        self._visit_loop(stmt, stmt.body, stmt.orelse)
+
+    def visit_For(self, stmt: ast.For) -> None:
+        self._visit_loop(stmt, stmt.body, stmt.orelse)
+
+    def visit_AsyncFor(self, stmt: ast.AsyncFor) -> None:
+        self._visit_loop(stmt, stmt.body, stmt.orelse)
+
+    def visit_Break(self, stmt: ast.Break) -> None:
+        self._append(stmt)
+        if self.loops:
+            self.loops[-1][1].append(self.current.index)
+        self.terminated = True
+
+    def visit_Continue(self, stmt: ast.Continue) -> None:
+        self._append(stmt)
+        if self.loops:
+            self._edge(self.current.index, self.loops[-1][0])
+        self.terminated = True
+
+    def visit_With(self, stmt: ast.With) -> None:
+        # The With node carries the item expressions / `as` bindings;
+        # its body runs inline on the same path.
+        self._append(stmt)
+        self.visit_body(stmt.body)
+
+    def visit_AsyncWith(self, stmt: ast.AsyncWith) -> None:
+        self._append(stmt)
+        self.visit_body(stmt.body)
+
+    def visit_Try(self, stmt: ast.Try) -> None:
+        if self.terminated:
+            self._start_block()
+        before = self.current.index
+        handler_heads: list[int] = []
+        handler_blocks: list[BasicBlock] = []
+        for _handler in stmt.handlers:
+            block = self._new_block()
+            self._edge(before, block.index)
+            handler_heads.append(block.index)
+            handler_blocks.append(block)
+
+        self.handler_heads.append(handler_heads)
+        self._start_block(before)
+        self.visit_body(stmt.body)
+        self.handler_heads.pop()
+        exits: list[int] = []
+        if not self.terminated:
+            if stmt.orelse:
+                self.visit_body(stmt.orelse)
+            if not self.terminated:
+                exits.append(self.current.index)
+
+        for handler, block in zip(stmt.handlers, handler_blocks):
+            self.current = block
+            self.terminated = False
+            self._append(handler)  # carries the `except ... as e` binding
+            self.visit_body(handler.body)
+            if not self.terminated:
+                exits.append(self.current.index)
+
+        self._start_block(*exits)
+        if stmt.finalbody:
+            self.visit_body(stmt.finalbody)
+
+    def visit_TryStar(self, stmt: ast.stmt) -> None:  # pragma: no cover - 3.11+
+        self.visit_Try(stmt)  # type: ignore[arg-type]
+
+    def visit_Match(self, stmt: ast.Match) -> None:
+        self._append(stmt)
+        head = self.current.index
+        exits: list[int] = [head]
+        for case in stmt.cases:
+            self._start_block(head)
+            self.visit_body(case.body)
+            if not self.terminated:
+                exits.append(self.current.index)
+        self._start_block(*exits)
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Build the CFG for one function body or module top level."""
+    builder = _Builder()
+    builder.visit_body(body)
+    return CFG(blocks=builder.blocks)

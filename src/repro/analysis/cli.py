@@ -12,7 +12,7 @@ from pathlib import Path
 
 from repro.analysis.config import LintConfig, find_pyproject, load_config
 from repro.analysis.engine import lint_paths
-from repro.analysis.registry import all_rules
+from repro.analysis.registry import all_rules, get_rule
 from repro.analysis.reporters import REPORTERS
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RPnnn",
+        help="print one rule's long-form documentation (for flow rules: "
+        "sources, sinks and an example source->sink trace) and exit",
+    )
     return parser
 
 
@@ -80,6 +87,15 @@ def main(argv: list[str] | None = None) -> int:
         for rule in all_rules():
             scope = f" [scope: {rule.scope_key}]" if rule.scope_key else ""
             print(f"{rule.id} {rule.name:28s} {rule.summary}{scope}")
+        return 0
+
+    if args.explain is not None:
+        try:
+            rule = get_rule(args.explain.strip().upper())
+        except KeyError as exc:
+            print(f"repro-lint: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(rule.explain())
         return 0
 
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])

@@ -1,0 +1,99 @@
+"""Worklist dataflow framework over :mod:`repro.analysis.cfg` graphs.
+
+A deliberately small forward-analysis engine: abstract states are
+``dict[str, V]`` environments (missing key = bottom), lattices plug in
+as a ``join`` on values, and transfer functions are applied statement by
+statement inside each basic block.  The solver iterates a worklist in
+reverse postorder until the fixpoint, with a hard iteration guard so a
+pathological lattice can degrade the analysis, never hang the linter.
+
+Termination: clients must keep their value domain finite (the RP6xx
+taint values cap trace length and origin counts) and ``join`` must be
+deterministic; under those conditions the guard never triggers in
+practice and exists purely as a backstop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Generic, Mapping, TypeVar
+
+from repro.analysis.cfg import CFG
+
+__all__ = ["Env", "join_envs", "solve_forward"]
+
+V = TypeVar("V")
+
+#: Abstract environment: variable name -> lattice value (absent = bottom).
+Env = Mapping[str, V]
+
+
+def join_envs(a: Env[V], b: Env[V], join: Callable[[V, V], V]) -> dict[str, V]:
+    """Pointwise join of two environments (absent keys join as identity)."""
+    out: dict[str, V] = dict(a)
+    for name, value in b.items():
+        if name in out:
+            out[name] = join(out[name], value)
+        else:
+            out[name] = value
+    return out
+
+
+class _Guard(Generic[V]):
+    """Iteration backstop; see the module docstring."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def tick(self) -> bool:
+        self.spent += 1
+        return self.spent <= self.limit
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Callable[[ast.AST, dict[str, V]], dict[str, V]],
+    join: Callable[[V, V], V],
+    entry_env: Env[V] | None = None,
+) -> dict[int, dict[str, V]]:
+    """Iterate ``transfer`` over ``cfg`` to a fixpoint.
+
+    Args:
+        cfg: Graph from :func:`repro.analysis.cfg.build_cfg`.
+        transfer: ``(statement, env) -> env``; must not mutate its input.
+        join: Value-level join for merging predecessor states.
+        entry_env: State entering block 0 (e.g. parameter taints).
+
+    Returns:
+        Block index -> environment at block **entry** (the fixpoint IN
+        states).  Callers re-run ``transfer`` through a block to observe
+        per-statement states, so facts are checked against the stable
+        solution rather than a mid-iteration snapshot.
+    """
+    order = cfg.rpo()
+    position = {index: pos for pos, index in enumerate(order)}
+    in_env: dict[int, dict[str, V]] = {cfg.entry: dict(entry_env or {})}
+    out_env: dict[int, dict[str, V]] = {}
+    guard: _Guard[V] = _Guard(limit=16 * max(1, len(cfg.blocks)) + 64)
+
+    pending = set(order)
+    while pending and guard.tick():
+        index = min(pending, key=lambda i: position.get(i, len(order)))
+        pending.discard(index)
+        block = cfg.blocks[index]
+
+        env = dict(in_env.get(index, {}))
+        merged = env
+        for pred in sorted(block.predecessors):
+            if pred in out_env:
+                merged = join_envs(merged, out_env[pred], join)
+        in_env[index] = dict(merged)
+
+        for stmt in block.statements:
+            merged = transfer(stmt, dict(merged))
+        if out_env.get(index) != merged:
+            out_env[index] = merged
+            for succ in sorted(block.successors):
+                pending.add(succ)
+    return in_env

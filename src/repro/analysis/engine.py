@@ -66,10 +66,16 @@ class FileContext:
 
 @dataclass
 class ProjectContext:
-    """All linted files at once, for cross-file consistency rules."""
+    """All linted files at once, for cross-file consistency rules.
+
+    ``cache`` is scratch storage scoped to one lint run: the flow rules
+    use it to share the call graph and dataflow results instead of
+    recomputing them per rule.  Keys are namespaced by rule family.
+    """
 
     files: list[FileContext]
     config: LintConfig
+    cache: dict = field(default_factory=dict)
 
     def find(self, fragment: str) -> list[FileContext]:
         """Files whose path contains the posix ``fragment``."""
@@ -98,9 +104,24 @@ def _active_ids(config: LintConfig) -> set[str]:
     return active
 
 
+#: noqa tokens that act as family prefixes: ``RP6`` / ``RP60`` (optionally
+#: written ``RP6xx``) suppress every rule id they prefix; full three-digit
+#: ids keep exact-match semantics.
+_FAMILY_TOKEN = re.compile(r"^RP\d{1,2}$")
+
+
+def _token_matches(token: str, rule_id: str) -> bool:
+    token = token.rstrip("X")
+    if _FAMILY_TOKEN.match(token):
+        return rule_id.startswith(token)
+    return rule_id == token
+
+
 def _suppressed(ctx: FileContext, finding: Finding) -> bool:
     ids = ctx.suppressed_ids(finding.line)
-    return ids is not None and (not ids or finding.rule_id in ids)
+    if ids is None:
+        return False
+    return not ids or any(_token_matches(token, finding.rule_id) for token in ids)
 
 
 def lint_paths(

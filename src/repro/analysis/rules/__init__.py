@@ -5,6 +5,9 @@ from repro.analysis.rules import (
     atomicity,
     determinism,
     dtype_safety,
+    flow_dtype,
+    flow_fork,
+    flow_taint,
     observability,
     registry_sync,
 )
@@ -14,6 +17,9 @@ __all__ = [
     "atomicity",
     "determinism",
     "dtype_safety",
+    "flow_dtype",
+    "flow_fork",
+    "flow_taint",
     "observability",
     "registry_sync",
 ]

@@ -82,15 +82,23 @@ def _toplevel_bindings(tree: ast.Module) -> tuple[set[str], bool]:
 
 @register
 class HasDunderAll(Rule):
-    """Flag public modules without a top-level ``__all__``."""
+    """Flag public modules without a top-level ``__all__``.
+
+    Test modules (``test_*.py``) and the trees listed under
+    ``script-paths`` (examples, one-off tools) are exempt: they are entry
+    points collected by a runner, not importable API surface.
+    """
 
     id = "RP501"
     name = "missing-dunder-all"
     summary = "public modules must declare __all__"
+    exempt_key = "script_paths"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         name = ctx.path.name
         if name in _EXEMPT or (name.startswith("_") and name != "__init__.py"):
+            return
+        if name.startswith("test_"):
             return
         node, _ = _literal_all(ctx.tree)
         if node is None:

@@ -40,11 +40,17 @@ def _is_float_operand(node: ast.expr) -> bool:
 
 @register
 class FloatEquality(Rule):
-    """Flag ``==`` / ``!=`` against float literals or inf/nan."""
+    """Flag ``==`` / ``!=`` against float literals or inf/nan.
+
+    Exempt under ``float-eq-exempt-paths`` (tests and benchmarks by
+    default): asserting *bit-exact* equality against known values is the
+    point of the dtype test suites.
+    """
 
     id = "RP201"
     name = "float-equality"
     summary = "float ==/!= is not bit-exact across datatypes; use isclose/isinf/isnan"
+    exempt_key = "float_eq_exempt_paths"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -1,0 +1,598 @@
+"""Shared machinery for the flow-aware RP6xx rules.
+
+The three RP6xx rule families (nondeterminism taint, dtype flow,
+fork safety) are all instances of one analysis shape: *origins* enter at
+source expressions, propagate through assignments, containers, calls and
+returns, and become findings when they reach a *sink*.  This module
+implements that shape once — an interprocedural origin-tracking engine
+over the :mod:`~repro.analysis.cfg` / :mod:`~repro.analysis.dataflow`
+framework with :mod:`~repro.analysis.callgraph` summaries — and lets
+each rule family plug in a small :class:`FlowSpec` describing its
+sources, sinks and promotion semantics.
+
+Every origin carries the hop-by-hop trace (file/line/col per step) that
+the reporters render and the JSON report embeds, so a finding is not
+"time.time() somewhere near a seed" but the concrete chain of
+assignments and calls the value travelled.
+
+Termination: origin sets are capped at :data:`MAX_ORIGINS` per value and
+:data:`MAX_HOPS` per trace, making the abstract domain finite; the
+function-summary fixpoint is worklist-driven with a pass guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, build_callgraph, module_name_of
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import solve_forward
+from repro.analysis.engine import FileContext, ProjectContext
+from repro.analysis.findings import Finding, TraceHop
+
+__all__ = [
+    "EMPTY",
+    "FlowEngine",
+    "FlowSpec",
+    "MAX_HOPS",
+    "MAX_ORIGINS",
+    "Origin",
+    "Val",
+    "extend_all",
+    "family_findings",
+    "join_vals",
+    "run_family",
+]
+
+#: Cap on distinct origins tracked per abstract value.
+MAX_ORIGINS = 6
+#: Cap on trace length per origin (keeps the domain finite in loops).
+MAX_HOPS = 16
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where an abstract value came from.
+
+    ``kind`` is spec-defined ("clock", "f64", ...) with one reserved
+    value: ``"param"`` marks a value flowing from the enclosing
+    function's parameter ``param`` — those origins never become findings
+    directly, they become function summaries instead.
+    """
+
+    kind: str
+    label: str
+    param: int = -1
+    hops: tuple[TraceHop, ...] = ()
+
+    def sort_key(self) -> tuple:
+        return (self.kind, self.param, self.label, len(self.hops), self.hops)
+
+    def extend(self, hop: TraceHop) -> "Origin":
+        """Append a hop, deduplicating repeats and respecting the cap."""
+        if len(self.hops) >= MAX_HOPS or (self.hops and self.hops[-1] == hop):
+            return self
+        return replace(self, hops=self.hops + (hop,))
+
+
+#: Abstract value: the set of origins that may flow into an expression.
+Val = frozenset[Origin]
+EMPTY: Val = frozenset()
+
+
+def _prune(val: Val) -> Val:
+    if len(val) <= MAX_ORIGINS:
+        return val
+    return frozenset(sorted(val, key=Origin.sort_key)[:MAX_ORIGINS])
+
+
+def join_vals(a: Val, b: Val) -> Val:
+    """Lattice join: origin-set union under the :data:`MAX_ORIGINS` cap."""
+    if not a:
+        return b
+    if not b:
+        return a
+    return _prune(a | b)
+
+
+def extend_all(val: Val, hop: TraceHop) -> Val:
+    """Append ``hop`` to every origin of ``val``."""
+    if not val:
+        return val
+    return frozenset(origin.extend(hop) for origin in val)
+
+
+class FlowSpec:
+    """What one RP6xx rule family means by "source" and "sink"."""
+
+    def source(self, node: ast.expr, ctx: FileContext) -> tuple[str, str] | None:
+        """``(kind, label)`` when ``node`` originates a tracked value."""
+        return None
+
+    def sanitized_kinds(self, call: ast.Call, ctx: FileContext) -> frozenset[str]:
+        """Origin kinds an (unresolved) call neutralizes (e.g. sorted)."""
+        return frozenset()
+
+    def binop_origin(
+        self, node: ast.BinOp, left: Val, right: Val, ctx: FileContext
+    ) -> tuple[str, str] | None:
+        """``(kind, label)`` when an operator combination creates an origin."""
+        return None
+
+    def sinks(
+        self, call: ast.Call, callee: FunctionInfo | None, ctx: FileContext, engine: "FlowEngine"
+    ) -> list[tuple[ast.expr, str]]:
+        """Sensitive ``(argument expression, sink label)`` pairs of a call."""
+        return []
+
+    def reportable(self, kind: str) -> str | None:
+        """Rule id a ``kind`` reports under at a sink (None = track only)."""
+        return None
+
+    def message(self, rule_id: str, sink_label: str, origin: Origin) -> str:
+        """Finding message for ``origin`` reaching ``sink_label``."""
+        raise NotImplementedError
+
+
+@dataclass
+class _Summary:
+    """Interprocedural summary of one function."""
+
+    #: Origins that may flow out through ``return`` (param origins refer
+    #: to this function's own parameters).
+    returns: Val = EMPTY
+    #: param index -> (sink label, hops from parameter to sink).
+    param_sinks: dict[int, tuple[str, tuple[TraceHop, ...]]] = field(default_factory=dict)
+
+    def snapshot(self) -> tuple:
+        return (self.returns, tuple(sorted(self.param_sinks.items())))
+
+
+@dataclass
+class _Unit:
+    """One analyzable body: a function, method, or module top level."""
+
+    qualname: str
+    module: str
+    class_name: str | None
+    body: Sequence[ast.stmt]
+    params: tuple[str, ...]
+    ctx: FileContext
+
+
+class FlowEngine:
+    """Run one :class:`FlowSpec` over an entire lint set.
+
+    Usage: ``FlowEngine(project, spec).run()`` -> findings tagged by
+    rule id.  Rules share a single run per family via ``project.cache``.
+    """
+
+    def __init__(self, project: ProjectContext, spec: FlowSpec) -> None:
+        self.project = project
+        self.spec = spec
+        self.graph: CallGraph = build_callgraph(project)
+        self.units: dict[str, _Unit] = {}
+        self.summaries: dict[str, _Summary] = {}
+        self._cfgs: dict[str, CFG] = {}
+        #: dedup key -> (rule_id, Finding); last write wins so the most
+        #: informed (final-pass) trace is the one reported.
+        self._findings: dict[tuple, tuple[str, Finding]] = {}
+        self._unit: _Unit | None = None
+        self._current_summary: _Summary = _Summary()
+        self._build_units()
+
+    # -- setup --------------------------------------------------------------
+
+    def _build_units(self) -> None:
+        for info in self.graph.functions.values():
+            self.units[info.qualname] = _Unit(
+                qualname=info.qualname,
+                module=info.module,
+                class_name=info.class_name,
+                body=info.node.body,
+                params=info.params,
+                ctx=info.ctx,
+            )
+        for ctx in self.project.files:
+            module = module_name_of(ctx.display_path)
+            qualname = f"{module}:<module>"
+            self.units[qualname] = _Unit(
+                qualname=qualname,
+                module=module,
+                class_name=None,
+                body=ctx.tree.body,
+                params=(),
+                ctx=ctx,
+            )
+
+    def _cfg(self, unit: _Unit) -> CFG:
+        cfg = self._cfgs.get(unit.qualname)
+        if cfg is None:
+            cfg = build_cfg(unit.body)
+            self._cfgs[unit.qualname] = cfg
+        return cfg
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> list[tuple[str, Finding]]:
+        """Fixpoint over function summaries; returns (rule_id, finding)."""
+        order = sorted(self.units)
+        for qualname in order:
+            self.summaries[qualname] = _Summary()
+
+        # Reverse dependencies: when a callee's summary changes, its
+        # callers must be re-analyzed.
+        callers: dict[str, set[str]] = {}
+        for qualname in order:
+            for site in self.graph.callees(qualname):
+                callers.setdefault(site.callee, set()).add(qualname)
+
+        pending = list(order)
+        passes = 0
+        max_work = 8 * len(order) + 64
+        while pending and passes < max_work:
+            qualname = pending.pop(0)
+            passes += 1
+            before = self.summaries[qualname].snapshot()
+            self._analyze(self.units[qualname])
+            if self.summaries[qualname].snapshot() != before:
+                for caller in sorted(callers.get(qualname, ())):
+                    if caller not in pending:
+                        pending.append(caller)
+        return [self._findings[key] for key in sorted(self._findings)]
+
+    # -- per-unit analysis --------------------------------------------------
+
+    def _analyze(self, unit: _Unit) -> None:
+        self._unit = unit
+        self.summaries[unit.qualname] = summary = _Summary()
+        entry = {
+            name: frozenset({Origin(kind="param", label=name, param=index)})
+            for index, name in enumerate(unit.params)
+        }
+        self._current_summary = summary
+        solve_forward(self._cfg(unit), self._transfer, join_vals, entry)
+        self._unit = None
+
+    def _hop(self, node: ast.AST, note: str) -> TraceHop:
+        assert self._unit is not None
+        return TraceHop(
+            file=self._unit.ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            note=note,
+        )
+
+    # -- transfer function --------------------------------------------------
+
+    def _transfer(self, stmt: ast.AST, env: dict[str, Val]) -> dict[str, Val]:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                self._bind(stmt.target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = join_vals(self._eval(stmt.target, env), self._eval(stmt.value, env))
+            self._bind(stmt.target, stmt.value, value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                if value:
+                    summary = self._current_summary
+                    summary.returns = join_vals(summary.returns, value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            value = self._eval(stmt.iter, env)
+            if value:
+                value = extend_all(value, self._hop(stmt, "iterated here"))
+            self._bind(stmt.target, stmt.iter, value, env)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self._eval(stmt.test, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, item.context_expr, value, env)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                env.pop(stmt.name, None)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            if stmt.msg is not None:
+                self._eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env.pop(stmt.name, None)
+        elif isinstance(stmt, ast.Match):
+            self._eval(stmt.subject, env)
+        return env
+
+    def _bind(self, target: ast.expr, source: ast.expr, value: Val, env: dict[str, Val]) -> None:
+        if isinstance(target, ast.Name):
+            if value:
+                env[target.id] = extend_all(value, self._hop(target, f"assigned to {target.id!r}"))
+            else:
+                # Strong update: rebinding with a clean value clears taint.
+                env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: Sequence[ast.expr] | None = None
+            if isinstance(source, (ast.Tuple, ast.List)) and len(source.elts) == len(target.elts):
+                elements = source.elts
+            for index, sub in enumerate(target.elts):
+                if elements is not None:
+                    self._bind(sub, elements[index], self._eval(elements[index], env), env)
+                else:
+                    self._bind(sub, source, value, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, source, value, env)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # Writing into a container/attribute taints the base binding
+            # (weak update: other elements may be clean).
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name) and value:
+                tainted = extend_all(value, self._hop(target, f"stored into {base.id!r}"))
+                env[base.id] = join_vals(env.get(base.id, EMPTY), tainted)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, node: ast.expr, env: dict[str, Val]) -> Val:
+        assert self._unit is not None
+        if isinstance(node, ast.Name):
+            return env.get(node.id, EMPTY)
+        if isinstance(node, ast.Constant):
+            return EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Attribute):
+            value = self._eval(node.value, env)
+            sourced = self.spec.source(node, self._unit.ctx)
+            if sourced is not None:
+                kind, label = sourced
+                value = join_vals(
+                    value,
+                    frozenset({Origin(kind, label, hops=(self._hop(node, f"source: {label}"),))}),
+                )
+            return value
+        if isinstance(node, ast.Subscript):
+            return join_vals(self._eval(node.value, env), self._eval(node.slice, env))
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            value = join_vals(left, right)
+            promoted = self.spec.binop_origin(node, left, right, self._unit.ctx)
+            if promoted is not None:
+                kind, label = promoted
+                value = join_vals(
+                    value,
+                    frozenset({Origin(kind, label, hops=(self._hop(node, f"source: {label}"),))}),
+                )
+            return value
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for sub in node.values:
+                out = join_vals(out, self._eval(sub, env))
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            out = self._eval(node.left, env)
+            for sub in node.comparators:
+                out = join_vals(out, self._eval(sub, env))
+            return out
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join_vals(self._eval(node.body, env), self._eval(node.orelse, env))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for sub in node.elts:
+                out = join_vals(out, self._eval(sub, env))
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for sub in (*node.keys, *node.values):
+                if sub is not None:
+                    out = join_vals(out, self._eval(sub, env))
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for sub in node.values:
+                out = join_vals(out, self._eval(sub, env))
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._bind(node.target, node.value, value, env)
+            return value
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Slice):
+            out = EMPTY
+            for sub in (node.lower, node.upper, node.step):
+                if sub is not None:
+                    out = join_vals(out, self._eval(sub, env))
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            inner = dict(env)
+            out = EMPTY
+            for gen in node.generators:
+                iterated = self._eval(gen.iter, inner)
+                self._bind(gen.target, gen.iter, iterated, inner)
+                for cond in gen.ifs:
+                    self._eval(cond, inner)
+                out = join_vals(out, iterated)
+            if isinstance(node, ast.DictComp):
+                out = join_vals(out, self._eval(node.key, inner))
+                out = join_vals(out, self._eval(node.value, inner))
+            else:
+                out = join_vals(out, self._eval(node.elt, inner))
+            return out
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        # Conservative fallback: union over child expressions.
+        out = EMPTY
+        for sub in ast.iter_child_nodes(node):
+            if isinstance(sub, ast.expr):
+                out = join_vals(out, self._eval(sub, env))
+        return out
+
+    # -- calls: summaries, sinks, sources -----------------------------------
+
+    @staticmethod
+    def _param_offset(callee: FunctionInfo) -> int:
+        bound = callee.params[:1] in (("self",), ("cls",)) and callee.class_name is not None
+        return 1 if bound else 0
+
+    def _arg_val(
+        self,
+        call: ast.Call,
+        callee: FunctionInfo,
+        param: int,
+        env: dict[str, Val],
+    ) -> tuple[Val, ast.expr | None]:
+        """Value (and expression) supplied for ``param`` of ``callee``."""
+        index = param - self._param_offset(callee)
+        if index < 0:
+            # The bound receiver: `obj.m(...)` — taint of `obj`.
+            if isinstance(call.func, ast.Attribute):
+                return self._eval(call.func.value, env), call.func.value
+            return EMPTY, None
+        if index < len(call.args):
+            arg = call.args[index]
+            if not isinstance(arg, ast.Starred):
+                return self._eval(arg, env), arg
+            return EMPTY, None
+        wanted = callee.params[param] if param < len(callee.params) else None
+        if wanted is not None:
+            for kw in call.keywords:
+                if kw.arg == wanted:
+                    return self._eval(kw.value, env), kw.value
+        return EMPTY, None
+
+    def _eval_call(self, call: ast.Call, env: dict[str, Val]) -> Val:
+        assert self._unit is not None
+        ctx = self._unit.ctx
+        callee = self.graph.resolve_callable(self._unit.module, call.func, self._unit.class_name)
+
+        # Evaluate arguments (this also walks nested calls for sinks).
+        arg_vals = [self._eval(arg, env) for arg in call.args]
+        kw_vals = {kw.arg: self._eval(kw.value, env) for kw in call.keywords}
+        receiver = (
+            self._eval(call.func.value, env) if isinstance(call.func, ast.Attribute) else EMPTY
+        )
+
+        result = EMPTY
+        sourced = self.spec.source(call, ctx)
+        if sourced is not None:
+            kind, label = sourced
+            result = frozenset({Origin(kind, label, hops=(self._hop(call, f"source: {label}"),))})
+
+        if callee is not None and callee.qualname in self.summaries:
+            summary = self.summaries[callee.qualname]
+            name = callee.display
+            for origin in summary.returns:
+                if origin.kind == "param":
+                    base, _expr = self._arg_val(call, callee, origin.param, env)
+                    through = extend_all(
+                        base, self._hop(call, f"passed through {name}() and returned")
+                    )
+                    result = join_vals(result, through)
+                else:
+                    carried = origin.extend(self._hop(call, f"returned from {name}()"))
+                    result = join_vals(result, frozenset({carried}))
+            for param, (sink_label, sink_hops) in sorted(summary.param_sinks.items()):
+                base, expr = self._arg_val(call, callee, param, env)
+                for origin in base:
+                    entered = origin.extend(
+                        self._hop(expr or call, f"passed into {name}()")
+                    )
+                    entered = replace(
+                        entered, hops=(entered.hops + sink_hops)[:MAX_HOPS]
+                    )
+                    self._record_sink(call, sink_label, entered)
+        else:
+            # Unresolved call: conservatively propagate through, minus
+            # spec-declared sanitizers (e.g. sorted() fixes FS order).
+            cleared = self.spec.sanitized_kinds(call, ctx)
+            merged = receiver
+            for val in (*arg_vals, *kw_vals.values()):
+                merged = join_vals(merged, val)
+            if cleared:
+                merged = frozenset(o for o in merged if o.kind not in cleared)
+            result = join_vals(result, merged)
+
+        for arg_expr, sink_label in self.spec.sinks(call, callee, ctx, self):
+            value = self._eval(arg_expr, env)
+            for origin in value:
+                self._record_sink(call, sink_label, origin.extend(
+                    self._hop(arg_expr, f"reaches sink: {sink_label}")
+                ))
+        return result
+
+    def _record_sink(self, call: ast.Call, sink_label: str, origin: Origin) -> None:
+        assert self._unit is not None
+        if origin.kind == "param":
+            summary = self._current_summary
+            if origin.param not in summary.param_sinks:
+                summary.param_sinks[origin.param] = (sink_label, origin.hops)
+            return
+        rule_id = self.spec.reportable(origin.kind)
+        if rule_id is None:
+            return
+        # One finding per (rule, location, sink, origin label): several
+        # source sites feeding the same sink collapse to a single report
+        # (the trace shows one representative path).
+        key = (
+            rule_id,
+            self._unit.ctx.display_path,
+            getattr(call, "lineno", 1),
+            getattr(call, "col_offset", 0) + 1,
+            sink_label,
+            origin.kind,
+            origin.label,
+        )
+        finding = Finding(
+            file=self._unit.ctx.display_path,
+            line=getattr(call, "lineno", 1),
+            col=getattr(call, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=self.spec.message(rule_id, sink_label, origin),
+            trace=origin.hops,
+        )
+        self._findings[key] = (rule_id, finding)
+
+
+def run_family(
+    project: ProjectContext, cache_key: str, make_spec
+) -> list[tuple[str, Finding]]:
+    """Run one flow family once per lint run, shared via ``project.cache``."""
+    cached = project.cache.get(cache_key)
+    if cached is None:
+        cached = FlowEngine(project, make_spec(project.config)).run()
+        project.cache[cache_key] = cached
+    return cached
+
+
+def family_findings(
+    project: ProjectContext, cache_key: str, make_spec, rule_id: str
+) -> Iterator[Finding]:
+    """The cached family run filtered down to one rule id."""
+    for found_rule, finding in run_family(project, cache_key, make_spec):
+        if found_rule == rule_id:
+            yield finding

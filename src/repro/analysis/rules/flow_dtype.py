@@ -1,0 +1,225 @@
+"""RP611/RP612 — dtype flow into fixed-point consumers.
+
+RP202/RP203 flag dtype hazards *where they are written*, but only inside
+the configured dtype/kernel paths.  These flow rules follow the arrays:
+an array materialized as float64 in any file and later handed to the
+int-input side of a fixed-point codec (``decode``/``from_int``) is bit
+nonsense, not a bit pattern — Table 3 of the paper is only meaningful if
+the representation matches the declared format end to end.
+
+Origin kinds tracked by the shared dtype flow:
+    f64    — array created with the float64 default (reportable, RP611)
+    f64mix — int-dtype array mixed with a bare Python float (reportable,
+             RP612: NumPy promotes the whole expression to float64)
+    arrint — array with an explicit integer dtype (tracked only; it is
+             the thing a bare float can corrupt)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+from repro.analysis.rules.determinism import _attr_chain, numpy_aliases
+from repro.analysis.rules.dtype_safety import _DEFAULT_FLOAT_CTORS, _is_float_operand
+from repro.analysis.rules.flow_base import FlowEngine, FlowSpec, Origin, Val, family_findings
+
+__all__ = ["BareFloatPromotionFlow", "DtypeFlowSpec", "Float64Materialization"]
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+
+
+def _method_name(call: ast.Call) -> str:
+    """Method name of a call, even when the receiver is itself a call
+    (``np.zeros(16).astype`` — a chain ``_attr_chain`` cannot flatten)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    chain = _attr_chain(call.func)
+    return chain[-1] if chain else ""
+
+
+def _dtype_idents(node: ast.expr) -> str:
+    """Lower-cased identifier soup of a ``dtype=`` expression."""
+    parts: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            parts.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            parts.append(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            parts.append(sub.value)
+    return " ".join(parts).lower()
+
+
+def _is_int_dtype(node: ast.expr) -> bool:
+    idents = _dtype_idents(node)
+    return ("int" in idents or "bool" in idents) and "float" not in idents
+
+
+def _is_float64_dtype(node: ast.expr) -> bool:
+    idents = _dtype_idents(node)
+    # Bare `float` (the Python builtin) is float64 to NumPy.
+    return "float64" in idents or "double" in idents or idents == "float"
+
+
+class DtypeFlowSpec(FlowSpec):
+    """Array dtype origins -> fixed-point codec/kernel sinks."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self._aliases: dict[int, set[str]] = {}
+
+    def _numpy(self, ctx: FileContext) -> set[str]:
+        key = id(ctx)
+        if key not in self._aliases:
+            self._aliases[key] = numpy_aliases(ctx.tree) | {"numpy"}
+        return self._aliases[key]
+
+    def source(self, node: ast.expr, ctx: FileContext) -> tuple[str, str] | None:
+        if not isinstance(node, ast.Call):
+            return None
+        chain = _attr_chain(node.func)
+        dotted = ".".join(chain)
+        dtype_kw = next((kw.value for kw in node.keywords if kw.arg == "dtype"), None)
+        if len(chain) == 2 and chain[0] in self._numpy(ctx) and chain[1] in _DEFAULT_FLOAT_CTORS:
+            if dtype_kw is None:
+                if chain[1] == "array" and node.args:
+                    # np.array copying an existing array keeps its dtype;
+                    # literal lists infer from their elements: all-int
+                    # literals give int64, anything else float64.
+                    if not isinstance(node.args[0], (ast.List, ast.Tuple)):
+                        return None
+                    elements = node.args[0].elts
+                    if elements and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, int)
+                        for e in elements
+                    ):
+                        return ("arrint", f"{dotted}(int literals)")
+                return ("f64", f"{dotted}() without dtype= (float64 default)")
+            if _is_int_dtype(dtype_kw):
+                return ("arrint", f"{dotted}(dtype=int)")
+            if _is_float64_dtype(dtype_kw):
+                return ("f64", f"{dotted}(dtype=float64)")
+            return None
+        if _method_name(node) == "astype" and node.args:
+            if _is_int_dtype(node.args[0]):
+                return ("arrint", f"{dotted or 'astype'}(int dtype)")
+            if _is_float64_dtype(node.args[0]):
+                return ("f64", f"{dotted or 'astype'}(float64)")
+        return None
+
+    def sanitized_kinds(self, call: ast.Call, ctx: FileContext) -> frozenset[str]:
+        # An explicit non-float64 dtype conversion repairs earlier
+        # float64 materialization: x.astype(np.int16), np.asarray(x,
+        # dtype=q.dtype), ...
+        if _method_name(call) == "astype" and call.args and not _is_float64_dtype(call.args[0]):
+            return frozenset({"f64", "f64mix"})
+        dtype_kw = next((kw.value for kw in call.keywords if kw.arg == "dtype"), None)
+        if dtype_kw is not None and not _is_float64_dtype(dtype_kw):
+            return frozenset({"f64", "f64mix"})
+        return frozenset()
+
+    def binop_origin(
+        self, node: ast.BinOp, left: Val, right: Val, ctx: FileContext
+    ) -> tuple[str, str] | None:
+        if not isinstance(node.op, _ARITH_OPS):
+            return None
+        int_left = any(o.kind == "arrint" for o in left)
+        int_right = any(o.kind == "arrint" for o in right)
+        if (int_left and _is_float_operand(node.right)) or (
+            int_right and _is_float_operand(node.left)
+        ):
+            return ("f64mix", "int-dtype array mixed with bare Python float (promotes to float64)")
+        return None
+
+    def sinks(
+        self, call: ast.Call, callee: FunctionInfo | None, ctx: FileContext, engine: FlowEngine
+    ) -> list[tuple[ast.expr, str]]:
+        name = _method_name(call)
+        label: str | None = None
+        if name in self.config.dtype_sinks:
+            label = f"fixed-point consumer {name}()"
+        elif callee is not None and callee.ctx.in_scope(self.config.kernel_paths):
+            label = f"fixed-point kernel {callee.display}()"
+        if label is None:
+            return []
+        out: list[tuple[ast.expr, str]] = []
+        for arg in call.args:
+            if not isinstance(arg, ast.Starred):
+                out.append((arg, label))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg != "dtype":
+                out.append((kw.value, label))
+        return out
+
+    def reportable(self, kind: str) -> str | None:
+        return {"f64": "RP611", "f64mix": "RP612"}.get(kind)
+
+    def message(self, rule_id: str, sink_label: str, origin: Origin) -> str:
+        if rule_id == "RP611":
+            return (
+                f"array materialized as float64 ({origin.label}) reaches {sink_label}; "
+                "declare the campaign dtype at creation (dtype=...) so the bit "
+                "pattern matches the fixed-point format — see the flow trace"
+            )
+        return (
+            f"float64-promoted expression ({origin.label}) reaches {sink_label}; "
+            "quantize the scalar through the codec instead of mixing bare Python "
+            "floats into int-dtype arithmetic — see the flow trace"
+        )
+
+
+@register
+class Float64Materialization(ProjectRule):
+    """Follow silently-float64 arrays into fixed-point consumers.
+
+    Source: ``np.zeros/ones/empty/full/array`` without ``dtype=`` (or
+    with an explicit float64 dtype) anywhere in the linted tree — not
+    just inside ``dtype-paths``, which is all the syntactic RP202 can
+    check.  Sink: a call whose name is listed in ``dtype-sinks``
+    (``decode``, ``from_int`` — the codec methods that require integer
+    bit patterns) or any function defined in a ``kernel-paths`` file.
+    ``x.astype(<non-float64>)`` or an explicit ``dtype=`` conversion on
+    the path sanitizes the flow.
+
+    Example trace::
+
+        src/repro/nn/infer.py:42:19: RP611 array materialized as float64 (np.zeros() without dtype=...) ...
+            flow: src/repro/nn/layers.py:12:16 source: np.zeros() without dtype= (float64 default)
+                  src/repro/nn/layers.py:12:9  assigned to 'bits'
+                  src/repro/nn/infer.py:42:19  passed through make_buffer() and returned
+                  src/repro/nn/infer.py:42:19  reaches sink: fixed-point consumer decode()
+    """
+
+    id = "RP611"
+    name = "float64-materialization-flow"
+    summary = "array created with float64 default dtype flows into a fixed-point consumer"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        yield from family_findings(ctx, "flow:dtype", DtypeFlowSpec, self.id)
+
+
+@register
+class BareFloatPromotionFlow(ProjectRule):
+    """Follow float64-promoted int arrays into fixed-point consumers.
+
+    Source: an arithmetic expression mixing an array created with an
+    explicit integer dtype and a bare Python float literal — NumPy
+    promotes the result to float64 even though both operands looked
+    intentional in isolation.  Sink and sanitizers are shared with
+    RP611 (the ``flow:dtype`` family).  Unlike the syntactic RP203 this
+    follows the promoted value across assignments and helper returns,
+    and fires only when it actually reaches a fixed-point consumer.
+    """
+
+    id = "RP612"
+    name = "bare-float-promotion-flow"
+    summary = "int-dtype array mixed with bare float (promoted to float64) reaches fixed-point code"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        yield from family_findings(ctx, "flow:dtype", DtypeFlowSpec, self.id)

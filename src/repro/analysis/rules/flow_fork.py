@@ -1,0 +1,457 @@
+"""RP621/RP622 — fork-safety of the supervised worker pool.
+
+Campaign trials execute inside pool worker processes (see
+``repro/utils/parallel.py``).  Two classes of bug only exist because of
+that process boundary, and both require the call graph to see:
+
+* RP621: a function *reachable from a worker entry point* writes
+  module-level mutable state.  The write lands in the worker's copy of
+  the module, vanishes when the pool recycles the process, and differs
+  between fork and spawn start methods — the classic "works on Linux,
+  diverges on macOS" reproducibility bug.
+* RP622: a helper manufactures a temp path and returns it; the caller
+  writes to it but never publishes it with ``os.replace``/``rename``.
+  The intra-function RP301/RP302 rules cannot see the factory boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, CallSite, FunctionInfo, build_callgraph, module_name_of
+from repro.analysis.engine import FileContext, ProjectContext
+from repro.analysis.findings import Finding, TraceHop
+from repro.analysis.registry import ProjectRule, register
+from repro.analysis.rules.atomicity import _mentions_tmp, _replace_targets
+from repro.analysis.rules.determinism import _attr_chain
+
+__all__ = ["ForkMutableGlobalWrite", "TempPathEscapesFactory"]
+
+#: Container constructors whose module-level result is mutable state.
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "Counter", "OrderedDict", "ChainMap"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    }
+)
+
+
+def _body_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function/class defs."""
+    todo: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while todo:
+        sub = todo.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        yield sub
+        todo.extend(ast.iter_child_nodes(sub))
+
+
+def _hop(ctx: FileContext, node: ast.AST, note: str) -> TraceHop:
+    return TraceHop(
+        file=ctx.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        note=note,
+    )
+
+
+def _binding_names(target: ast.expr) -> Iterator[str]:
+    """Names *bound* by an assignment target.
+
+    ``CACHE["k"] = v`` / ``obj.attr = v`` write through an existing
+    object — they bind nothing, so Subscript/Attribute targets are
+    skipped (only Name, and Names inside Tuple/List/Starred unpacking).
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _binding_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally in ``fn`` (so writes to them are not global)."""
+    args = fn.args
+    names = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        )
+    }
+    for node in _body_walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_binding_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_binding_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_binding_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            names.update(_binding_names(node.target))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    # `global X` declarations un-localize the name again.
+    for node in _body_walk(fn):
+        if isinstance(node, ast.Global):
+            names -= set(node.names)
+    return names
+
+
+def _module_mutables(project: ProjectContext) -> dict[tuple[str, str], tuple[FileContext, ast.stmt]]:
+    """(module, name) -> definition site of module-level mutable state."""
+    out: dict[tuple[str, str], tuple[FileContext, ast.stmt]] = {}
+    for ctx in project.files:
+        module = module_name_of(ctx.display_path)
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if value is None or not _is_mutable_value(value):
+                continue
+            for target in targets:
+                out[(module, target.id)] = (ctx, stmt)
+    return out
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = _attr_chain(node.func)
+        return bool(chain) and chain[-1] in _MUTABLE_CTORS
+    return False
+
+
+def _entry_chain(
+    graph: CallGraph, parent: dict[str, CallSite | None], qualname: str
+) -> list[TraceHop]:
+    """Trace hops from a worker entry point down to ``qualname``."""
+    sites: list[CallSite] = []
+    current = qualname
+    while parent.get(current) is not None:
+        site = parent[current]
+        assert site is not None
+        sites.append(site)
+        current = site.caller
+    sites.reverse()
+    entry = graph.functions[current]
+    hops = [_hop(entry.ctx, entry.node, f"pool worker entry point {entry.display}()")]
+    for site in sites:
+        caller = graph.functions[site.caller]
+        callee = graph.functions[site.callee]
+        hops.append(_hop(caller.ctx, site.node, f"{caller.display}() calls {callee.display}()"))
+    return hops
+
+
+@register
+class ForkMutableGlobalWrite(ProjectRule):
+    """Flag module-state writes reachable from pool worker entry points.
+
+    Roots are the functions named in ``fork-entry-points``
+    (``_init_worker``/``_run_chunk`` by default); reachability follows
+    the package-local call graph.  A write is any of:
+
+    * rebinding a name declared ``global``;
+    * item/attribute assignment (``CACHE[k] = v``) on a module-level
+      mutable (dict/list/set/... literal or constructor), including ones
+      imported from another linted module;
+    * an in-place mutator call (``CACHE.update(...)``, ``LOG.append``).
+
+    Worker-side writes are lost when the pool recycles processes and
+    differ between fork and spawn start methods.  Pass state through the
+    task object / return values instead.  The sanctioned exception is a
+    worker-lifetime cache rebound once in ``_init_worker`` itself — mark
+    it ``# repro: noqa[RP621]`` so the exemption stays visible, mirroring
+    the RP104 backoff convention.
+
+    Example trace::
+
+        src/repro/core/stats.py:31:5: RP621 module-level state 'TALLY' is written in bump() ...
+            flow: src/repro/utils/parallel.py:101:1 pool worker entry point _run_chunk()
+                  src/repro/utils/parallel.py:113:20 _run_chunk() calls run_trial()
+                  src/repro/core/run.py:57:12 run_trial() calls bump()
+                  src/repro/core/stats.py:3:1 module-level state 'TALLY' defined here
+                  src/repro/core/stats.py:31:5 written here inside a forked worker
+    """
+
+    id = "RP621"
+    name = "fork-mutable-global"
+    summary = "module-level mutable state written in code reachable from pool workers"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = build_callgraph(ctx)
+        roots = sorted(
+            q for q, info in graph.functions.items() if info.name in ctx.config.fork_entry_points
+        )
+        if not roots:
+            return
+        parent = graph.reachable_from(roots)
+        mutables = _module_mutables(ctx)
+        for qualname in sorted(parent):
+            info = graph.functions[qualname]
+            yield from self._check_function(info, graph, parent, mutables)
+
+    def _check_function(
+        self,
+        info: FunctionInfo,
+        graph: CallGraph,
+        parent: dict[str, CallSite | None],
+        mutables: dict[tuple[str, str], tuple[FileContext, ast.stmt]],
+    ) -> Iterator[Finding]:
+        fn = info.node
+        locals_ = _local_names(fn)
+        globals_ = {
+            name for node in _body_walk(fn) if isinstance(node, ast.Global) for name in node.names
+        }
+
+        def resolve_state(name: str) -> tuple[FileContext, ast.stmt] | None:
+            if name in locals_:
+                return None
+            hit = mutables.get((info.module, name))
+            if hit is not None:
+                return hit
+            imported = graph.import_target(info.module, name)
+            if imported is not None:
+                return mutables.get(imported)
+            return None
+
+        def emit(node: ast.AST, name: str, what: str, defsite) -> Finding:
+            hops = _entry_chain(graph, parent, info.qualname)
+            if defsite is not None:
+                def_ctx, def_node = defsite
+                hops.append(_hop(def_ctx, def_node, f"module-level state {name!r} defined here"))
+            hops.append(_hop(info.ctx, node, "written here inside a forked worker"))
+            return Finding(
+                file=info.ctx.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=self.id,
+                message=(
+                    f"module-level state {name!r} is {what} in {info.display}(), which runs "
+                    "inside pool worker processes; worker-side writes vanish on pool "
+                    "recycle and differ between fork/spawn — pass state through the "
+                    "task object or return values (see the flow trace)"
+                ),
+                trace=tuple(hops),
+            )
+
+        for node in _body_walk(fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in globals_:
+                        defsite = mutables.get((info.module, target.id))
+                        yield emit(node, target.id, "rebound via `global`", defsite)
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = target
+                        while isinstance(base, (ast.Subscript, ast.Attribute)):
+                            base = base.value
+                        if isinstance(base, ast.Name):
+                            defsite = resolve_state(base.id)
+                            if defsite is not None:
+                                yield emit(node, base.id, "mutated by item/attribute write", defsite)
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if len(chain) == 2 and chain[1] in _MUTATOR_METHODS:
+                    defsite = resolve_state(chain[0])
+                    if defsite is not None:
+                        yield emit(node, chain[0], f"mutated in place via .{chain[1]}()", defsite)
+
+
+@register
+class TempPathEscapesFactory(ProjectRule):
+    """Flag temp paths returned by a factory and never published by callers.
+
+    A *temp factory* is a function that builds a temp-named path
+    (``*.tmp*``) and returns it; factory-ness propagates one level
+    through wrappers that return another factory's result.  At each call
+    site the returned name must reach one of:
+
+    * the atomic publish idiom (``os.replace``/``rename``/``shutil.move``
+      or ``p.replace(...)``) — the pattern RP301/RP302 enforce
+      intra-function;
+    * explicit cleanup (``unlink``/``os.remove``) for scratch files;
+    * a ``return`` (the caller's caller is then checked instead);
+    * another function call (conservatively assumed to handle it).
+
+    Writing to the path (``open``/``write_text``/``np.save``...) does
+    *not* count as handling it: that is exactly the torn-file bug — data
+    lands in the temp file and nothing ever makes it visible atomically.
+
+    Example trace::
+
+        src/repro/zoo/store.py:88:9: RP622 temp path from make_staging_path() never published ...
+            flow: src/repro/zoo/store.py:20:11 temp path created here
+                  src/repro/zoo/store.py:22:5 returned to caller
+                  src/repro/zoo/store.py:88:15 temp path returned into 'staging'
+                  src/repro/zoo/store.py:88:9 never published (os.replace) or unlinked in save_weights()
+    """
+
+    id = "RP622"
+    name = "temp-escape-without-publish"
+    summary = "temp path returned by a factory is written but never atomically published"
+
+    #: Call names that merely *write into* the path (do not absolve).
+    _WRITE_FNS = frozenset(
+        {"open", "write_text", "write_bytes", "touch", "mkdir", "save", "savez",
+         "savez_compressed", "dump", "write"}
+    )
+    _CLEANUP_FNS = frozenset({"unlink", "remove", "rmtree"})
+    _PUBLISH_FNS = frozenset({"replace", "rename", "move"})
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        graph = build_callgraph(ctx)
+        factories = self._find_factories(graph)
+        if not factories:
+            return
+        # Scan every function body plus each module's top level.
+        units: list[tuple[ast.AST, FileContext, str, str | None, str]] = [
+            (info.node, info.ctx, info.module, info.class_name, f"{info.display}()")
+            for info in graph.functions.values()
+        ]
+        units += [
+            (file_ctx.tree, file_ctx, module_name_of(file_ctx.display_path), None, "module scope")
+            for file_ctx in ctx.files
+        ]
+        for node, file_ctx, module, class_name, where in units:
+            yield from self._check_unit(node, file_ctx, module, class_name, where, graph, factories)
+
+    def _find_factories(self, graph: CallGraph) -> dict[str, tuple[TraceHop, ...]]:
+        factories: dict[str, tuple[TraceHop, ...]] = {}
+        for info in graph.functions.values():
+            tmp_names: dict[str, ast.stmt] = {}
+            for node in _body_walk(info.node):
+                if isinstance(node, ast.Assign) and _mentions_tmp(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tmp_names[target.id] = node
+            for node in _body_walk(info.node):
+                if (
+                    isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in tmp_names
+                ):
+                    factories[info.qualname] = (
+                        _hop(info.ctx, tmp_names[node.value.id], "temp path created here"),
+                        _hop(info.ctx, node, "returned to caller"),
+                    )
+                    break
+        # One propagation level: wrappers returning a factory's result.
+        for _ in range(2):
+            for info in graph.functions.values():
+                if info.qualname in factories:
+                    continue
+                returned: dict[str, ast.Call] = {}
+                for node in _body_walk(info.node):
+                    if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                        callee = graph.resolve_call(info, node.value)
+                        if callee is not None and callee.qualname in factories:
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    returned[target.id] = node.value
+                for node in _body_walk(info.node):
+                    if (
+                        isinstance(node, ast.Return)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in returned
+                    ):
+                        call = returned[node.value.id]
+                        callee = graph.resolve_call(info, call)
+                        assert callee is not None
+                        factories[info.qualname] = factories[callee.qualname] + (
+                            _hop(info.ctx, call, f"wrapped by {info.display}()"),
+                            _hop(info.ctx, node, "returned to caller"),
+                        )
+                        break
+        return factories
+
+    def _check_unit(
+        self,
+        scope: ast.AST,
+        ctx: FileContext,
+        module: str,
+        class_name: str | None,
+        where: str,
+        graph: CallGraph,
+        factories: dict[str, tuple[TraceHop, ...]],
+    ) -> Iterator[Finding]:
+        published = _replace_targets(scope)
+        for node in _body_walk(scope):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            callee = graph.resolve_callable(module, node.value.func, class_name)
+            if callee is None or callee.qualname not in factories:
+                continue
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            for name in names:
+                if name in published:
+                    continue
+                if self._escapes(scope, name, node):
+                    continue
+                hops = factories[callee.qualname] + (
+                    _hop(ctx, node.value, f"temp path returned into {name!r}"),
+                    _hop(ctx, node, f"never published (os.replace) or unlinked in {where}"),
+                )
+                yield Finding(
+                    file=ctx.display_path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule_id=self.id,
+                    message=(
+                        f"temp path from {callee.display}() is written but never "
+                        "atomically published; finish the temp-then-replace pattern "
+                        f"with os.replace({name}, final) or unlink it (see the flow trace)"
+                    ),
+                    trace=hops,
+                )
+
+    def _escapes(self, scope: ast.AST, name: str, assign: ast.stmt) -> bool:
+        """True when ``name`` is returned, cleaned up, or handed onward."""
+        for node in _body_walk(scope):
+            if node is assign:
+                continue
+            if (
+                isinstance(node, ast.Return)
+                and node.value is not None
+                and any(
+                    isinstance(sub, ast.Name) and sub.id == name for sub in ast.walk(node.value)
+                )
+            ):
+                return True
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            last = chain[-1] if chain else ""
+            as_receiver = len(chain) >= 2 and chain[0] == name
+            as_arg = any(isinstance(arg, ast.Name) and arg.id == name for arg in node.args) or any(
+                isinstance(kw.value, ast.Name) and kw.value.id == name for kw in node.keywords
+            )
+            if not (as_receiver or as_arg):
+                continue
+            if last in self._CLEANUP_FNS or last in self._PUBLISH_FNS:
+                return True
+            if last in self._WRITE_FNS:
+                continue  # writing into the temp is the bug, not the fix
+            if as_arg:
+                return True  # handed to another function: assume handled
+        return False

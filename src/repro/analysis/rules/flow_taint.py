@@ -1,0 +1,178 @@
+"""RP601 — nondeterminism taint flowing into campaign identity.
+
+The syntactic RP1xx rules flag nondeterministic *calls* where they
+happen; this rule follows the *values*.  A wall-clock read stashed in a
+variable, returned through a helper, and finally mixed into a campaign
+fingerprint or RNG seed is invisible to a per-call rule — the call site
+looks innocent.  The flow engine tracks the value hop by hop and the
+finding carries the full source->sink trace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import FileContext, ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+from repro.analysis.rules.determinism import _LEGACY_NP_RANDOM, _WALL_CLOCK, _attr_chain, numpy_aliases
+from repro.analysis.rules.flow_base import FlowEngine, FlowSpec, Origin, family_findings
+
+__all__ = ["NondeterminismTaint", "TaintSpec"]
+
+#: stdlib ``random`` module functions treated as RNG sources.
+_STDLIB_RANDOM = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "sample",
+        "shuffle", "uniform", "gauss", "normalvariate", "getrandbits",
+        "betavariate", "expovariate", "random_sample",
+    }
+)
+
+#: Filesystem-enumeration calls whose *order* is nondeterministic.
+_FS_ORDER_METHODS = frozenset({"iterdir", "rglob"})
+
+#: Keyword names that make any call a seed sink.
+_SEED_KEYWORDS = ("seed", "entropy")
+
+#: What each origin kind means, for messages and ``--explain``.
+KIND_NOTES = {
+    "clock": "a wall-clock read",
+    "rng": "an unseeded / global-state RNG value",
+    "env": "an environment variable",
+    "order": "filesystem enumeration order",
+}
+
+
+class TaintSpec(FlowSpec):
+    """Nondeterminism sources -> campaign-identity sinks."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self._aliases: dict[int, set[str]] = {}
+
+    def _numpy(self, ctx: FileContext) -> set[str]:
+        key = id(ctx)
+        if key not in self._aliases:
+            self._aliases[key] = numpy_aliases(ctx.tree) | {"numpy"}
+        return self._aliases[key]
+
+    def source(self, node: ast.expr, ctx: FileContext) -> tuple[str, str] | None:
+        if isinstance(node, ast.Attribute):
+            chain = _attr_chain(node)
+            if chain[-2:] == ["os", "environ"]:
+                return ("env", "os.environ")
+            return None
+        if not isinstance(node, ast.Call):
+            return None
+        chain = _attr_chain(node.func)
+        if not chain:
+            return None
+        dotted = ".".join(chain)
+        if len(chain) >= 2 and (chain[-2], chain[-1]) in _WALL_CLOCK:
+            return ("clock", f"{dotted}()")
+        if (
+            len(chain) == 3
+            and chain[0] in self._numpy(ctx)
+            and chain[1] == "random"
+            and chain[2] in _LEGACY_NP_RANDOM
+        ):
+            return ("rng", f"{dotted}()")
+        if len(chain) == 2 and chain[0] == "random" and chain[1] in _STDLIB_RANDOM:
+            return ("rng", f"{dotted}()")
+        if chain == ["os", "urandom"]:
+            return ("rng", "os.urandom()")
+        if chain[0] == "uuid" and chain[-1] in ("uuid1", "uuid4"):
+            return ("rng", f"{dotted}()")
+        if chain[0] == "secrets":
+            return ("rng", f"{dotted}()")
+        if len(chain) == 2 and chain[0] in ("os",) and chain[1] in ("listdir", "scandir"):
+            return ("order", f"{dotted}()")
+        if chain[0] == "glob" and chain[-1] in ("glob", "iglob"):
+            return ("order", f"{dotted}()")
+        if len(chain) >= 2 and chain[-1] in _FS_ORDER_METHODS:
+            return ("order", f"{dotted}()")
+        if len(chain) >= 2 and chain[-1] == "glob" and chain[0] != "glob":
+            # Path-like receiver: p.glob(...) enumerates in OS order.
+            return ("order", f"{dotted}()")
+        return None
+
+    def sanitized_kinds(self, call: ast.Call, ctx: FileContext) -> frozenset[str]:
+        # sorted()/len()/min()/max() make enumeration order irrelevant;
+        # nothing launders a clock, RNG or env read.
+        if isinstance(call.func, ast.Name) and call.func.id in ("sorted", "len", "min", "max"):
+            return frozenset({"order"})
+        return frozenset()
+
+    def sinks(
+        self, call: ast.Call, callee: FunctionInfo | None, ctx: FileContext, engine: FlowEngine
+    ) -> list[tuple[ast.expr, str]]:
+        out: list[tuple[ast.expr, str]] = []
+        chain = _attr_chain(call.func)
+        name = chain[-1] if chain else ""
+        lowered = name.lower()
+        if any(frag in lowered for frag in self.config.taint_sinks):
+            for arg in call.args:
+                if not isinstance(arg, ast.Starred):
+                    out.append((arg, f"{name}()"))
+            for kw in call.keywords:
+                if kw.arg is not None:
+                    out.append((kw.value, f"{name}({kw.arg}=...)"))
+            return out
+        for kw in call.keywords:
+            if kw.arg is not None and any(frag in kw.arg.lower() for frag in _SEED_KEYWORDS):
+                out.append((kw.value, f"{name or 'call'}({kw.arg}=...)"))
+        return out
+
+    def reportable(self, kind: str) -> str | None:
+        return "RP601" if kind in KIND_NOTES else None
+
+    def message(self, rule_id: str, sink_label: str, origin: Origin) -> str:
+        what = KIND_NOTES.get(origin.kind, origin.kind)
+        return (
+            f"{what} ({origin.label}) flows into {sink_label}; campaign identity "
+            "(seeds, fingerprints, RNG streams) must be a pure function of the "
+            "configured seed — see the flow trace"
+        )
+
+
+@register
+class NondeterminismTaint(ProjectRule):
+    """Track nondeterministic values to campaign-identity sinks.
+
+    Sources (origin kinds):
+        clock  — wall-clock reads (time.time, datetime.now, ...)
+        rng    — unseeded RNG state (np.random legacy, stdlib random,
+                 os.urandom, uuid.uuid1/uuid4, secrets.*)
+        env    — os.environ / os.getenv reads
+        order  — filesystem enumeration order (os.listdir, Path.glob,
+                 iterdir, glob.glob); sanitized by sorted()/len()/min()/max()
+
+    Sinks (``taint-sinks`` in ``[tool.repro-lint]``): calls whose name
+    contains a sink fragment (fingerprint, seed, entropy, child_rng,
+    make_rng, spawn_rngs) and any keyword literally named ``seed=`` /
+    ``entropy=``.
+
+    The analysis is interprocedural: values returned through package
+    helpers keep their origin, with each hop recorded.  Example trace::
+
+        src/repro/core/run.py:10:13: RP601 a wall-clock read (time.time()) flows into child_rng(seed=...); ...
+            flow: src/repro/utils/ids.py:4:12 source: time.time()
+                  src/repro/utils/ids.py:4:5  assigned to 'stamp'
+                  src/repro/core/run.py:8:13  passed through fresh_token() and returned
+                  src/repro/core/run.py:10:28 reaches sink: child_rng(seed=...)
+
+    Fix by deriving all identity from the configured seed
+    (``repro.utils.rng``) and passing timestamps in explicitly for
+    display-only uses (then the value must not reach a sink).
+    """
+
+    id = "RP601"
+    name = "nondeterminism-taint"
+    summary = "nondeterministic value (clock/rng/env/fs-order) flows into seed or fingerprint"
+
+    def check_project(self, ctx: ProjectContext) -> Iterator[Finding]:
+        yield from family_findings(ctx, "flow:taint", TaintSpec, self.id)

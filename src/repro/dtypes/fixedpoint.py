@@ -111,6 +111,8 @@ class FixedPointType(DataType):
             raise ValueError("products must be (n, length) with one bias per row")
         ints = self.to_int(np.concatenate([bias[:, None], products], axis=1))
         raw = np.cumsum(ints, axis=1)
+        # float64 here is a carrier for *exact* scaled integers (|acc| is
+        # clipped far below 2^53); from_int re-asserts the dtype itself.
         out = raw[:, -1].astype(np.float64)
         # Rows whose running sum ever left the rails need the exact
         # saturating replay; everywhere else cumsum is already exact.
@@ -120,7 +122,7 @@ class FixedPointType(DataType):
             for v in ints[r]:
                 acc = min(max(acc + int(v), self._imin), self._imax)
             out[r] = acc
-        return self.from_int(out)
+        return self.from_int(out)  # repro: noqa[RP611]
 
     # -- range -------------------------------------------------------------- #
     @property

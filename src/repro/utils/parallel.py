@@ -98,7 +98,9 @@ class _Chunk:
 
 def _init_worker(task_factory: Callable[[], object]) -> None:
     global _WORKER_TASK
-    _WORKER_TASK = task_factory()
+    # Worker-lifetime task cache, rebound exactly once per process at
+    # pool start; the sanctioned RP621 exemption (see --explain RP621).
+    _WORKER_TASK = task_factory()  # repro: noqa[RP621]
 
 
 def exc_summary(exc: BaseException, frames: int = 3) -> str:

@@ -1,0 +1,3 @@
+"""Test package marker (kept importable for the repo self-check)."""
+
+__all__ = []
