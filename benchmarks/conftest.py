@@ -55,6 +55,25 @@ def run_once(benchmark, request):
     return _run
 
 
+def _merge_same_day(existing: dict, snapshot: dict) -> dict:
+    """Fold a previous same-day snapshot into this session's.
+
+    A second benchmark session on the same date must *merge* rather than
+    clobber: otherwise a partial run (one benchmark file) would erase the
+    gauges every other file produced that day, and a gate floor check
+    could read a partial snapshot.  Counters/histograms/timing merge with
+    the standard session algebra; gauges are re-measurements, so this
+    session's value replaces the old one (max-merging would let a stale
+    high-water mark mask a real regression) while untouched gauges from
+    earlier sessions survive.
+    """
+    from repro.obs.metrics import merge_snapshots
+
+    merged = merge_snapshots(existing, snapshot)
+    merged["gauges"] = {**existing.get("gauges", {}), **snapshot.get("gauges", {})}
+    return merged
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Persist the session's benchmark timings as a metrics snapshot."""
     del session
@@ -69,6 +88,15 @@ def pytest_sessionfinish(session, exitstatus):
         "snapshot": snapshot,
     }
     out_path = BENCH_DIR / f"BENCH_{payload['date']}.json"
+    try:
+        existing = json.loads(out_path.read_text(encoding="utf-8"))
+        if (
+            existing.get("format") == payload["format"]
+            and existing.get("date") == payload["date"]
+        ):
+            payload["snapshot"] = _merge_same_day(existing.get("snapshot", {}), snapshot)
+    except (OSError, ValueError):
+        pass  # no (or torn) previous snapshot today: publish ours alone
     try:
         from repro.core.checkpoint import atomic_write_text
 

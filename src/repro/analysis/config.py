@@ -65,6 +65,7 @@ class LintConfig:
         "repro/analysis/cli.py",
         "repro/obs/cli.py",
         "repro/obs/progress.py",
+        "repro/gate/cli.py",
     )
     #: Paths where exact float ==/!= is the *point* (bit-exactness
     #: assertions in the test/benchmark suites) — RP201 skips them.

@@ -1,0 +1,8 @@
+"""``python -m repro.gate`` — alias for the ``repro-gate`` entry point."""
+
+import sys
+
+from repro.gate.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""YAML loading for obligation specs, with a dependency-free fallback.
+
+Obligation packs are YAML because the format must be reviewable by
+humans and diffable in PRs (POET's obligations/recipes/evidence model
+uses the same shape).  PyYAML is used when importable, but the gate is
+release-critical infrastructure and must not acquire a hard dependency
+the base install lacks — so :func:`loads` falls back to a small parser
+for the strict subset of YAML the packs are written in:
+
+- nested block mappings (``key: value`` / ``key:`` + indented block);
+- block sequences (``- item``), including mapping items whose first
+  entry rides on the dash line (``- id: OBL-X``);
+- flow sequences (``[a, b, c]``) and scalars (null/bool/int/float,
+  single- or double-quoted strings, plain strings);
+- multi-line plain scalars (a key with an indented prose block below
+  it), folded with single spaces the way YAML folds them;
+- ``#`` comments.
+
+Anchors, multi-document streams, block scalars (``|``/``>``) and
+flow mappings are deliberately out of scope; a pack using them fails
+loudly under the fallback parser, and the test suite parses every
+shipped pack with both implementations to keep them agreeing.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["MiniYamlError", "loads", "load_path"]
+
+_ENTRY_RE = re.compile(r"^([^\s:#'\"]+):(?:\s+(.*))?$")
+
+
+class MiniYamlError(ValueError):
+    """The fallback parser met YAML outside the supported subset."""
+
+
+def loads(text: str):
+    """Parse a YAML document: PyYAML when available, subset parser else."""
+    try:
+        import yaml
+    except ImportError:
+        return _mini_loads(text)
+    return yaml.safe_load(text)
+
+
+def load_path(path) -> object:
+    from pathlib import Path
+
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+# -- fallback subset parser ------------------------------------------------- #
+def _strip_comment(line: str) -> str:
+    quote = None
+    for i, ch in enumerate(line):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or line[i - 1] in " \t"):
+            return line[:i].rstrip()
+    return line.rstrip()
+
+
+def _split_flow(inner: str) -> list[str]:
+    parts, depth, quote, cur = [], 0, None, []
+    for ch in inner:
+        if quote is not None:
+            cur.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            cur.append(ch)
+        elif ch == "[":
+            depth += 1
+            cur.append(ch)
+        elif ch == "]":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        parts.append("".join(cur))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _scalar(token: str):
+    token = token.strip()
+    if token in ("", "null", "~", "Null", "NULL"):
+        return None
+    if token in ("true", "True", "TRUE"):
+        return True
+    if token in ("false", "False", "FALSE"):
+        return False
+    if len(token) >= 2 and token[0] in "'\"" and token[-1] == token[0]:
+        return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        return [_scalar(part) for part in _split_flow(token[1:-1])]
+    try:
+        return int(token, 10)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _lines(text: str) -> list[tuple[int, str]]:
+    out = []
+    for raw in text.splitlines():
+        content = _strip_comment(raw)
+        if not content.strip():
+            continue
+        leading = len(content) - len(content.lstrip(" \t"))
+        if "\t" in content[:leading]:
+            raise MiniYamlError("tabs in indentation are not supported")
+        indent = leading
+        out.append((indent, content.strip()))
+    return out
+
+
+def _is_list_item(content: str) -> bool:
+    return content == "-" or content.startswith("- ")
+
+
+def _dispatch(lines, i: int, indent: int):
+    if _is_list_item(lines[i][1]):
+        return _parse_list(lines, i, indent)
+    return _parse_map(lines, i, indent)
+
+
+def _parse_list(lines, i: int, indent: int):
+    out: list = []
+    while i < len(lines):
+        ind, content = lines[i]
+        if ind != indent or not _is_list_item(content):
+            break
+        rest = content[1:].strip()
+        if not rest:
+            # `-` alone: the value is the deeper-indented block below.
+            if i + 1 < len(lines) and lines[i + 1][0] > indent:
+                value, i = _dispatch(lines, i + 1, lines[i + 1][0])
+            else:
+                value, i = None, i + 1
+            out.append(value)
+            continue
+        entry = _ENTRY_RE.match(rest)
+        if entry is None:
+            out.append(_scalar(rest))
+            i += 1
+            continue
+        # Mapping item with its first entry on the dash line.  Remaining
+        # entries sit at the indent of the line after the dash.
+        item: dict = {}
+        key, val = entry.group(1), entry.group(2)
+        if val is None or not val.strip():
+            raise MiniYamlError(
+                f"inline map entry {key!r} on a '-' line must carry a scalar value"
+            )
+        item[key] = _scalar(val)
+        i += 1
+        if i < len(lines) and lines[i][0] > indent and not _is_list_item(lines[i][1]):
+            more, i = _parse_map(lines, i, lines[i][0])
+            item.update(more)
+        out.append(item)
+    return out, i
+
+
+def _parse_map(lines, i: int, indent: int):
+    out: dict = {}
+    while i < len(lines):
+        ind, content = lines[i]
+        if ind < indent or _is_list_item(content):
+            break
+        if ind > indent:
+            raise MiniYamlError(f"unexpected indent at: {content!r}")
+        entry = _ENTRY_RE.match(content)
+        if entry is None:
+            raise MiniYamlError(f"expected 'key: value', got: {content!r}")
+        key, val = entry.group(1), entry.group(2)
+        if key in out:
+            raise MiniYamlError(f"duplicate key {key!r}")
+        if val is not None and val.strip():
+            out[key] = _scalar(val)
+            i += 1
+            continue
+        i += 1
+        if i < len(lines) and lines[i][0] > indent:
+            child = lines[i]
+            if _is_list_item(child[1]) or _ENTRY_RE.match(child[1]):
+                out[key], i = _dispatch(lines, i, child[0])
+            else:
+                # Multi-line plain scalar: deeper prose lines fold into
+                # one space-joined string, as YAML folds them.
+                parts = []
+                while i < len(lines) and lines[i][0] > indent:
+                    parts.append(lines[i][1])
+                    i += 1
+                out[key] = " ".join(parts)
+        elif i < len(lines) and lines[i][0] == indent and _is_list_item(lines[i][1]):
+            # Block sequence at the same indent as its key — common YAML.
+            out[key], i = _parse_list(lines, i, indent)
+        else:
+            out[key] = None
+    return out, i
+
+
+def _mini_loads(text: str):
+    lines = _lines(text)
+    if not lines:
+        return None
+    value, nxt = _dispatch(lines, 0, lines[0][0])
+    if nxt != len(lines):
+        raise MiniYamlError(f"trailing content at: {lines[nxt][1]!r}")
+    return value

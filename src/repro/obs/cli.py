@@ -7,7 +7,10 @@ Three subcommands over the artifacts :mod:`repro.obs.manifest` writes:
   ``.manifest.json`` or a ``.runlog.jsonl``.
 - ``tail <run>`` — print the last N supervision events of a run log.
 - ``diff <a> <b>`` — compare two runs: throughput, error rates, and
-  per-phase time split, with deltas.
+  per-phase time split, with deltas.  Exit status is the comparison
+  verdict: 0 when the runs agree on every deterministic fact, 1 when
+  they diverge — so CI jobs and ``repro-gate`` recipes can consume the
+  command as a pass/fail check instead of parsing its tables.
 """
 
 from __future__ import annotations
@@ -19,7 +22,14 @@ import sys
 from repro.obs.manifest import load_run
 from repro.utils.tables import format_table
 
-__all__ = ["main", "render_summary", "render_diff", "render_tail"]
+__all__ = [
+    "compare_runs",
+    "main",
+    "render_diff",
+    "render_summary",
+    "render_tail",
+    "run_identity",
+]
 
 
 def _fmt_seconds(value: float | None) -> str:
@@ -173,6 +183,64 @@ def render_tail(run: dict, n: int = 20, kind: str | None = None) -> str:
     return format_table(["seq", "t+s", "event", "detail"], rows)
 
 
+#: ``run`` meta keys that describe *how* a run executed, not *what* it
+#: computed: two byte-identical campaigns may legitimately differ here.
+_EXECUTION_META = ("jobs", "resumed", "resumed_trials")
+
+
+def run_identity(run: dict) -> dict:
+    """The deterministic projection of a loaded run.
+
+    Everything the repo's byte-identity promise covers: spec identity,
+    final status, metric counters/gauges/histograms, and the outcome
+    summary.  Wall-clock sections (timing, spans, throughput), harness
+    accounting (``execution``, event counts) and environment provenance
+    are excluded — they differ between equivalent runs by design.
+    """
+    manifest = run.get("manifest") or {}
+    metrics = manifest.get("metrics", {})
+    meta = dict(manifest.get("run", {}) or {})
+    for key in _EXECUTION_META:
+        meta.pop(key, None)
+    return {
+        "run": meta,
+        "status": manifest.get("status", "unknown"),
+        "counters": metrics.get("counters", {}),
+        "gauges": metrics.get("gauges", {}),
+        "histograms": metrics.get("histograms", {}),
+        "summary": manifest.get("summary", {}),
+    }
+
+
+def _flatten(value, prefix: str, out: dict) -> None:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            _flatten(value[key], f"{prefix}.{key}" if prefix else str(key), out)
+    else:
+        out[prefix] = value
+
+
+def compare_runs(run_a: dict, run_b: dict) -> list[str]:
+    """Divergences between two runs' deterministic facts (empty = agree).
+
+    Each entry is a human- and machine-readable line of the form
+    ``<dotted.path>: <a-value> != <b-value>`` (or ``only in a/b``).
+    """
+    flat_a: dict = {}
+    flat_b: dict = {}
+    _flatten(run_identity(run_a), "", flat_a)
+    _flatten(run_identity(run_b), "", flat_b)
+    diverged = []
+    for key in sorted(set(flat_a) | set(flat_b)):
+        if key not in flat_a:
+            diverged.append(f"{key}: only in b ({flat_b[key]!r})")
+        elif key not in flat_b:
+            diverged.append(f"{key}: only in a ({flat_a[key]!r})")
+        elif flat_a[key] != flat_b[key]:
+            diverged.append(f"{key}: {flat_a[key]!r} != {flat_b[key]!r}")
+    return diverged
+
+
 def _diff_row(label: str, a, b, fmt: str = "{:.2f}") -> list[str]:
     def show(v):
         return fmt.format(v) if isinstance(v, (int, float)) else "n/a"
@@ -231,7 +299,8 @@ def main(argv: list[str] | None = None) -> int:
     p_tail.add_argument("run", help="a .runlog.jsonl (or manifest with an event tail)")
     p_tail.add_argument("-n", type=int, default=20, help="events to show")
     p_tail.add_argument("--kind", default=None, help="only this event kind")
-    p_diff = sub.add_parser("diff", help="compare two runs")
+    p_diff = sub.add_parser(
+        "diff", help="compare two runs (exit 1 when deterministic facts diverge)")
     p_diff.add_argument("run_a")
     p_diff.add_argument("run_b")
     args = parser.parse_args(argv)
@@ -242,7 +311,15 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "tail":
             print(render_tail(load_run(args.run), n=args.n, kind=args.kind))
         else:
-            print(render_diff(load_run(args.run_a), load_run(args.run_b)))
+            run_a, run_b = load_run(args.run_a), load_run(args.run_b)
+            print(render_diff(run_a, run_b))
+            diverged = compare_runs(run_a, run_b)
+            if diverged:
+                print(f"\nDIVERGED: {len(diverged)} deterministic fact(s) differ")
+                for line in diverged:
+                    print(f"  {line}")
+                return 1
+            print("\nruns agree on every deterministic fact")
     except FileNotFoundError as exc:
         print(f"repro-obs: {exc}", file=sys.stderr)
         return 2

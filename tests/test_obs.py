@@ -465,6 +465,36 @@ class TestObsCli:
         out = capsys.readouterr().out
         assert "run diff" in out and "trials" in out
 
+    def test_diff_exit_nonzero_on_divergence(self, run_paths, tmp_path, capsys):
+        # A different seed produces genuinely different deterministic
+        # facts; `repro-obs diff` is the verdict, so it must exit 1.
+        manifest_path, _ = run_paths
+        other_ck = tmp_path / "diverged.jsonl"
+        run_campaign(
+            CampaignSpec(network=SPEC.network, dtype=SPEC.dtype,
+                         n_trials=SPEC.n_trials, n_inputs=SPEC.n_inputs, seed=99),
+            jobs=1, checkpoint=other_ck,
+        )
+        other_manifest = default_obs_paths(other_ck)[0]
+        assert obs_cli.main(["diff", str(manifest_path), str(other_manifest)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+
+    def test_compare_runs_ignores_timing_but_not_counters(self, run_paths, tmp_path):
+        manifest_path, _ = run_paths
+        run = load_run(manifest_path)
+        # Same run compared to itself: no divergence, by construction.
+        assert obs_cli.compare_runs(run, run) == []
+        tampered = json.loads(json.dumps(run))
+        tampered["manifest"]["metrics"]["counters"]["trials"] += 1
+        diverged = obs_cli.compare_runs(run, tampered)
+        assert any("counters.trials" in line for line in diverged)
+        # Timing is wall-clock noise and must never count as divergence.
+        slow = json.loads(json.dumps(run))
+        slow["manifest"]["timing"] = {"duration_s": 1e9}
+        slow["manifest"]["metrics"]["timing"] = {"made_up": {"total_s": 1e9}}
+        assert obs_cli.compare_runs(run, slow) == []
+
     def test_missing_file_exit_code(self, tmp_path, capsys):
         assert obs_cli.main(["summarize", str(tmp_path / "nope.json")]) == 2
         assert "repro-obs" in capsys.readouterr().err

@@ -198,6 +198,32 @@ class TestCampaignResilience:
         with pytest.raises(CampaignAbortedError):
             run_campaign(SPEC, max_error_frac=0.0)
 
+    # The budget comparison is strictly `n_errors > max_error_frac *
+    # n_trials`; 16 trials keep the budget exactly representable
+    # (0.0625 * 16 == 1.0, 0.9375 * 16 == 15.0), so these pin the
+    # boundary itself, not a float-fuzzed neighbourhood.
+    def test_error_budget_exactly_at_budget_completes(self, monkeypatch):
+        spec = CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=16, seed=3)
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:5")
+        result = run_campaign(spec, max_error_frac=0.0625)  # budget = 1.0
+        assert len(result.records) == 15
+        assert [(e.index, e.reason) for e in result.errors] == [(5, "error")]
+        assert result.stats.quarantined == 1
+
+    def test_error_budget_one_past_budget_aborts(self, monkeypatch):
+        spec = CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=16, seed=3)
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:*")
+        # budget = 15.0; the 16th quarantine is the first past it.
+        with pytest.raises(CampaignAbortedError):
+            run_campaign(spec, max_error_frac=0.9375)
+
+    def test_error_budget_every_trial_quarantined_at_budget(self, monkeypatch):
+        spec = CampaignSpec(network="ConvNet", dtype="FLOAT16", n_trials=16, seed=3)
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:*")
+        result = run_campaign(spec, max_error_frac=1.0)  # budget = 16.0
+        assert result.records == []
+        assert result.stats.quarantined == 16
+
     def test_events_recorded(self, monkeypatch):
         monkeypatch.setenv("REPRO_CAMPAIGN_FAULT", "raise:5")
         recorder = EventRecorder()
