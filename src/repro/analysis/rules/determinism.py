@@ -18,7 +18,14 @@ from repro.analysis.engine import FileContext
 from repro.analysis.findings import Finding
 from repro.analysis.registry import Rule, register
 
-__all__ = ["LegacyNumpyRandom", "StdlibRandom", "WallClock", "SleepInCampaign", "numpy_aliases"]
+__all__ = [
+    "LegacyNumpyRandom",
+    "StdlibRandom",
+    "WallClock",
+    "SleepInCampaign",
+    "GoldenBufferWrite",
+    "numpy_aliases",
+]
 
 #: numpy.random attributes that touch hidden global state.  The new-style
 #: seeded constructors (default_rng / Generator / SeedSequence / Philox &
@@ -194,4 +201,102 @@ class SleepInCampaign(Rule):
                     "time.sleep() on a campaign path; trials should never block on "
                     "wall time — if this is supervisor backoff, mark the line "
                     "'# repro: noqa[RP104]' to record the exemption",
+                )
+
+
+#: Call names whose result is a private buffer: assigning from one of
+#: these detaches the binding from the golden state, so later writes
+#: through it are safe (``faulty = golden.scores.copy()``).
+_COPY_CALLS = frozenset({"copy", "deepcopy", "array", "ascontiguousarray"})
+
+
+def _name_parts(node: ast.expr) -> list[str]:
+    """Name/attribute segments of an lvalue, descending through
+    subscripts and calls (``self.goldens[i].scores[mask]`` ->
+    ``["self", "goldens", "scores"]``)."""
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return parts[::-1]
+        else:
+            return parts[::-1]
+
+
+def _is_golden(parts: list[str]) -> bool:
+    return any("golden" in p.lower() for p in parts)
+
+
+@register
+class GoldenBufferWrite(Rule):
+    """Flag in-place writes into golden reference buffers.
+
+    With shared-memory golden state (``repro.core.sharedgolden``) every
+    worker's golden activations/weights are *views over one segment*: a
+    write through any of them corrupts the reference for every other
+    worker.  The views are published read-only, so such a write raises at
+    runtime — this rule moves the failure to lint time and also covers
+    the single-process path, where goldens are plain writable arrays and
+    a stray ``golden.scores[i] = x`` silently skews every later outcome
+    comparison.
+
+    The sanctioned idiom is copy-then-corrupt: bind a private buffer via
+    ``.copy()`` / ``np.array`` / ``np.ascontiguousarray`` /
+    ``copy.deepcopy`` first (the injector does exactly this); names bound
+    from those calls are exempt even when they contain "golden".
+    """
+
+    id = "RP106"
+    name = "golden-buffer-write"
+    summary = "in-place write into a golden buffer; copy before corrupting"
+    scope_key = "campaign_paths"
+
+    def _copied_names(self, tree: ast.Module) -> set[str]:
+        copied: set[str] = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            chain = _attr_chain(node.value.func)
+            if chain and chain[-1] in _COPY_CALLS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        copied.add(target.id)
+        return copied
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        copied = self._copied_names(ctx.tree)
+
+        def targets_of(node: ast.stmt) -> list[ast.expr]:
+            if isinstance(node, ast.Assign):
+                return list(node.targets)
+            if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                return [node.target]
+            return []
+
+        for node in ast.walk(ctx.tree):
+            for target in targets_of(node):
+                # Only *element* writes (subscript stores) and augmented
+                # whole-array writes mutate an existing buffer; a plain
+                # ``golden = ...`` rebind is fine.
+                if not (
+                    isinstance(target, ast.Subscript)
+                    or (isinstance(node, ast.AugAssign) and isinstance(target, ast.Attribute))
+                ):
+                    continue
+                parts = _name_parts(target)
+                if not _is_golden(parts) or (parts and parts[0] in copied):
+                    continue
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"write into golden buffer {'.'.join(parts)}; goldens are "
+                    "shared read-only references — corrupt a private copy "
+                    "(.copy() first) instead",
                 )

@@ -37,7 +37,7 @@ from repro.core.injector import (
     prepare_datapath,
 )
 from repro.core.outcome import SDC_CLASSES, Outcome, classify_outcome
-from repro.core.stats import RateEstimate
+from repro.core.stats import RateEstimate, wilson_halfwidth
 from repro.core.tracing import EventRecorder
 from repro.dtypes.registry import get_dtype
 from repro.obs.metrics import (
@@ -47,7 +47,7 @@ from repro.obs.metrics import (
     merge_timing,
 )
 from repro.obs.spans import enable_spans, span, timing_snapshot
-from repro.utils.parallel import TrialFailure, exc_summary, map_trials
+from repro.utils.parallel import TrialFailure, effective_jobs, exc_summary, map_trials
 from repro.utils.rng import child_rng
 from repro.zoo.registry import eval_inputs, get_network
 
@@ -55,15 +55,21 @@ __all__ = [
     "CampaignSpec",
     "TrialRecord",
     "TrialError",
+    "TrialSkip",
     "ExecutionStats",
     "CampaignAbortedError",
     "CampaignResult",
     "record_trial_metrics",
+    "record_skip_metrics",
+    "stratum_key",
     "run_campaign",
 ]
 
 #: Campaign targets: the datapath, or one buffer reuse scope.
 TARGETS = ("datapath", "layer_weight", "row_activation", "next_layer", "single_read")
+
+#: Early-stopping stratum keys (see ``CampaignSpec.stop_stratify``).
+STOP_STRATIFIERS = ("overall", "site", "block", "bit")
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,24 @@ class CampaignSpec:
         occupancy_weighted: Draw buffer-fault victim layers from the
             row-stationary schedule's bit-cycle exposures (strike uniform
             in space and time) instead of static data sizes.
+        target_halfwidth: When set, stop sampling a stratum once the
+            Wilson 95% half-width of its ``stop_sdc_class`` rate drops to
+            this value (statistical early stopping; None = run every
+            trial).  Part of the campaign identity: the set of executed
+            trials depends on it.
+        stop_stratify: Stratum key for early stopping: ``"overall"``
+            (one global estimate), ``"site"`` (per latch class / buffer
+            scope), ``"block"`` (per paper-level layer position) or
+            ``"bit"`` (per flipped bit position).
+        stop_check_every: Trial-index boundary between stop-decision
+            evaluations.  Decisions look only at trials *before* the
+            boundary — all resolved by then — so they are a pure function
+            of the spec, never of ``jobs``/``batch``/``chunk``, arrival
+            order or wall-clock.  In the spec (unlike ``chunk``) exactly
+            because it shapes which trials run.
+        stop_sdc_class: SDC class whose confidence interval early
+            stopping drives (default ``"sdc1"``, the paper's headline
+            rate).
     """
 
     network: str
@@ -122,6 +146,10 @@ class CampaignSpec:
     record_propagation: bool = False
     storage_dtype: str | None = None
     occupancy_weighted: bool = False
+    target_halfwidth: float | None = None
+    stop_stratify: str = "overall"
+    stop_check_every: int = 64
+    stop_sdc_class: str = "sdc1"
 
     def __post_init__(self) -> None:
         if self.target not in TARGETS:
@@ -134,6 +162,18 @@ class CampaignSpec:
             raise ValueError(f"unknown detector kind {self.detector_kind!r}")
         if self.burst < 1:
             raise ValueError("burst must be >= 1")
+        if self.target_halfwidth is not None and not 0.0 < self.target_halfwidth < 0.5:
+            raise ValueError(
+                f"target_halfwidth must be in (0, 0.5), got {self.target_halfwidth}"
+            )
+        if self.stop_stratify not in STOP_STRATIFIERS:
+            raise ValueError(
+                f"stop_stratify must be one of {STOP_STRATIFIERS}, got {self.stop_stratify!r}"
+            )
+        if self.stop_check_every < 1:
+            raise ValueError("stop_check_every must be >= 1")
+        if self.stop_sdc_class not in SDC_CLASSES:
+            raise ValueError(f"unknown SDC class {self.stop_sdc_class!r}")
 
 
 @dataclass(frozen=True)
@@ -171,6 +211,55 @@ class TrialError:
     message: str = ""
     site: str | None = None
     attempts: int = 1
+
+
+@dataclass(frozen=True)
+class TrialSkip:
+    """A trial whose propagation early stopping elided.
+
+    The fault *was* sampled (its RNG stream, site, block and bit are the
+    same as in a full run — that is what keeps skip decisions a pure
+    function of the trial index), but its stratum had already met
+    ``CampaignSpec.target_halfwidth``, so the expensive corruption build
+    and propagation never ran.  Skips are checkpointed so a resumed run
+    replays the same decisions bit-identically, and they are excluded
+    from every rate aggregation (they have no outcome).
+    """
+
+    index: int
+    site: str
+    block: int
+    bit: int
+
+
+def stratum_key(stratify: str, site: str, block: int, bit: int) -> str:
+    """The early-stopping stratum a fault belongs to.
+
+    A plain string so the closed-strata set pickles compactly into
+    worker control messages and checkpoint replay stays text-stable.
+    """
+    if stratify == "site":
+        return str(site)
+    if stratify == "block":
+        return str(block)
+    if stratify == "bit":
+        return str(bit)
+    return "overall"
+
+
+def record_skip_metrics(metrics: MetricsRegistry, spec: CampaignSpec, skip: TrialSkip) -> None:
+    """Fold one elided trial into the samples-saved counters.
+
+    Same discipline as :func:`record_trial_metrics`: integer counters
+    only, incremented identically by workers (live skips) and by the
+    parent's checkpoint replay (resumed skips), so totals stay
+    byte-identical across serial / parallel / shared-mem / resume.
+    """
+    metrics.inc("early_stop/skipped")
+    metrics.inc(
+        "early_stop/skipped/"
+        + stratum_key(spec.stop_stratify, skip.site, skip.block, skip.bit)
+    )
 
 
 @dataclass(frozen=True)
@@ -220,10 +309,16 @@ class CampaignResult:
     ``records`` holds successfully classified trials only; trials the
     resilient runner had to quarantine appear in ``errors`` and are
     excluded from every aggregation (their outcomes are unknown, not
-    non-SDC).  ``stats`` reports what the harness survived.  ``metrics``
-    is the merged observability snapshot (see :mod:`repro.obs.metrics`):
-    its ``counters``/``histograms`` sections are deterministic — the
-    same for any ``jobs`` value and across kill/resume — while anything
+    non-SDC).  ``skips`` holds trials early stopping elided (their
+    strata had met ``target_halfwidth``); they too are excluded from
+    aggregations — an estimate's ``n`` is always the number of trials
+    that actually propagated.  ``stopped_at`` is the trial-index
+    boundary where sampling stopped globally (None = the campaign ran
+    or skipped through all ``spec.n_trials`` indices).  ``stats``
+    reports what the harness survived.  ``metrics`` is the merged
+    observability snapshot (see :mod:`repro.obs.metrics`): its
+    ``counters``/``histograms`` sections are deterministic — the same
+    for any ``jobs`` value and across kill/resume — while anything
     wall-clock lives under its ``timing`` key.
     """
 
@@ -232,6 +327,8 @@ class CampaignResult:
     errors: list[TrialError] = field(default_factory=list)
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     metrics: dict = field(default_factory=empty_snapshot)
+    skips: list[TrialSkip] = field(default_factory=list)
+    stopped_at: int | None = None
 
     # -- basic counts ----------------------------------------------------- #
     @property
@@ -328,6 +425,8 @@ class CampaignResult:
             errors=self.errors + other.errors,
             stats=self.stats.merge(other.stats),
             metrics=merge_snapshots(self.metrics, other.metrics),
+            skips=self.skips + other.skips,
+            stopped_at=self.stopped_at if self.stopped_at is not None else other.stopped_at,
         )
 
 
@@ -396,30 +495,51 @@ def _maybe_test_fault(trial: int) -> None:
 
 class _CampaignTask:
     """Per-worker task: builds the network/goldens once, runs one trial
-    per call.  Constructed lazily inside each worker process."""
+    per call.  Constructed lazily inside each worker process.
 
-    def __init__(self, spec: CampaignSpec):
+    When a :class:`~repro.core.sharedgolden.GoldenDescriptor` is given,
+    the golden activations, quantized weights and learned detector are
+    *attached* from the parent's shared-memory segment instead of being
+    recomputed — the expensive ``golden_infer`` / ``learn_detector``
+    phases run exactly once per campaign, in the parent.  Either way the
+    golden bits are identical (the parent computed them with this same
+    code), so trial outcomes are unaffected by the transport.
+    """
+
+    def __init__(self, spec: CampaignSpec, golden=None):
         self.spec = spec
         self.last_site: str | None = None
         self.dtype = get_dtype(spec.dtype)
         self.storage_dtype = get_dtype(spec.storage_dtype) if spec.storage_dtype else None
         self.network = get_network(spec.network, spec.scale)
-        self.network.prepare(self.dtype)
-        inputs = eval_inputs(spec.network, spec.n_inputs, spec.scale, seed=100)
-        with span("golden_infer"):
-            self.goldens = [
-                self.network.forward(
-                    x, dtype=self.dtype, record=True, storage_dtype=self.storage_dtype
-                )
-                for x in inputs
-            ]
-        self.detector: SymptomDetector | None = None
-        if spec.with_detection and spec.detector_kind == "sed":
-            learn_x = eval_inputs(spec.network, spec.sed_learn_inputs, spec.scale, seed=200)
-            with span("learn_detector"):
-                self.detector = learn_detector(
-                    self.network, learn_x, dtype=self.dtype, cushion=spec.sed_cushion
-                )
+        self._shm_view = None
+        if golden is not None:
+            from repro.core.sharedgolden import attach_golden_state
+
+            with span("golden_attach"):
+                self._shm_view = attach_golden_state(golden)
+            self.goldens = self._shm_view.goldens
+            self._shm_view.install_weights(self.network)
+            self.detector: SymptomDetector | None = None
+            if spec.with_detection and spec.detector_kind == "sed":
+                self.detector = golden.detector
+        else:
+            self.network.prepare(self.dtype)
+            inputs = eval_inputs(spec.network, spec.n_inputs, spec.scale, seed=100)
+            with span("golden_infer"):
+                self.goldens = [
+                    self.network.forward(
+                        x, dtype=self.dtype, record=True, storage_dtype=self.storage_dtype
+                    )
+                    for x in inputs
+                ]
+            self.detector = None
+            if spec.with_detection and spec.detector_kind == "sed":
+                learn_x = eval_inputs(spec.network, spec.sed_learn_inputs, spec.scale, seed=200)
+                with span("learn_detector"):
+                    self.detector = learn_detector(
+                        self.network, learn_x, dtype=self.dtype, cushion=spec.sed_cushion
+                    )
         self.occupancy = None
         if spec.occupancy_weighted:
             from repro.accel.eyeriss import EYERISS_16NM
@@ -442,13 +562,14 @@ class _CampaignTask:
             golden.activations[self._final_act_layer + 1],
         )
 
-    def prepare_trial(self, trial: int):
-        """Sample and build trial ``trial``'s corruption without propagating.
+    def sample_trial(self, trial: int):
+        """Draw trial ``trial``'s fault without building its corruption.
 
-        Returns ``(prep, meta)`` where ``prep`` is the
-        :class:`~repro.core.injector.PreparedInjection` and ``meta``
-        carries everything :meth:`complete_trial` needs (golden, site,
-        block, bit, record flag).
+        Consumes exactly the RNG stream a full run would (the fault's
+        coordinates are a pure function of the trial index), so early
+        stopping can decide from the returned ``meta`` whether the
+        expensive :meth:`build_trial` + propagation is needed at all.
+        Returns ``(fault, meta)``.
         """
         spec = self.spec
         self.last_site = None
@@ -467,9 +588,6 @@ class _CampaignTask:
                 burst=spec.burst,
             )
             site = self.last_site = fault.latch
-            prep = prepare_datapath(
-                self.network, self.dtype, fault, golden, self.storage_dtype
-            )
         else:
             # Buffer flips land in the storage word (Proteus-aware).
             fault_dtype = self.storage_dtype or self.dtype
@@ -478,9 +596,6 @@ class _CampaignTask:
                 burst=spec.burst, occupancy=self.occupancy,
             )
             site = self.last_site = fault.scope
-            prep = prepare_buffer(
-                self.network, self.dtype, fault, golden, self.storage_dtype
-            )
         meta = {
             "golden": golden,
             "site": site,
@@ -488,7 +603,46 @@ class _CampaignTask:
             "bit": fault.bit,
             "record": record,
         }
-        return prep, meta
+        return fault, meta
+
+    def build_trial(self, fault, meta: dict):
+        """Build a sampled fault's corruption (no propagation yet)."""
+        if self.spec.target == "datapath":
+            return prepare_datapath(
+                self.network, self.dtype, fault, meta["golden"], self.storage_dtype
+            )
+        return prepare_buffer(
+            self.network, self.dtype, fault, meta["golden"], self.storage_dtype
+        )
+
+    def prepare_trial(self, trial: int):
+        """Sample and build trial ``trial``'s corruption without propagating.
+
+        Returns ``(prep, meta)`` where ``prep`` is the
+        :class:`~repro.core.injector.PreparedInjection` and ``meta``
+        carries everything :meth:`complete_trial` needs (golden, site,
+        block, bit, record flag).
+        """
+        fault, meta = self.sample_trial(trial)
+        return self.build_trial(fault, meta), meta
+
+    def close(self) -> None:
+        """Detach the shared golden view, if one is attached.
+
+        Closing unmaps the segment immediately (numpy views do NOT keep
+        the mapping alive — they alias freed memory afterwards), so every
+        shared view must be purged first.  ``get_network`` memoizes
+        network instances per process, so the quantized-weight caches we
+        installed views into would otherwise serve dangling pointers to
+        the *next* campaign in this process.
+        """
+        if self._shm_view is None:
+            return
+        for li, dtype_name in self._shm_view.installed:
+            self.network.layers[li].discard_quantized_weights(dtype_name)
+        self.goldens = []
+        self._shm_view.close()
+        self._shm_view = None
 
     def complete_trial(self, meta: dict, injection: InjectionResult) -> TrialRecord:
         """Classify one propagated injection into a :class:`TrialRecord`."""
@@ -545,7 +699,8 @@ class _SafeTrialTask:
     parallel and resumed totals byte-identical.
     """
 
-    def __init__(self, spec: CampaignSpec, spans: bool = False, batch: int = 1):
+    def __init__(self, spec: CampaignSpec, spans: bool = False, batch: int = 1,
+                 golden=None):
         if spans:
             # Before _CampaignTask so golden_infer / learn_detector and
             # the per-layer forward spans inside them are captured.
@@ -554,12 +709,55 @@ class _SafeTrialTask:
         #: Trials propagated per forward_from_batch call; the parallel
         #: layer dispatches whole index slices to run_many when > 1.
         self.group_size = max(1, int(batch))
-        self.task = _CampaignTask(spec)
+        self.task = _CampaignTask(spec, golden)
+        #: Strata the early-stopping planner has closed.  Updated per
+        #: round via :meth:`apply_control`; faults in a closed stratum
+        #: skip corruption build + propagation.
+        self._closed: frozenset[str] = frozenset()
 
-    def __call__(self, trial: int) -> TrialRecord | TrialError:
+    def apply_control(self, ctl: object) -> None:
+        """Install the planner's per-round control message.
+
+        Called by the parallel layer before a chunk runs (in the worker
+        that executes it).  The message replaces — never augments — the
+        previous round's state, so a worker that served round ``w`` and
+        then round ``w+2`` holds exactly round ``w+2``'s closed set.
+        """
+        closed = () if not isinstance(ctl, dict) else ctl.get("closed", ())
+        self._closed = frozenset(closed)
+
+    def _maybe_skip(self, trial: int, meta: dict) -> TrialSkip | None:
+        """Elide the trial when its stratum is closed (early stopping)."""
+        if not self._closed:
+            return None
+        key = stratum_key(
+            self.task.spec.stop_stratify, meta["site"], meta["block"], meta["bit"]
+        )
+        if key not in self._closed:
+            return None
+        skip = TrialSkip(
+            index=trial, site=meta["site"], block=meta["block"], bit=meta["bit"]
+        )
+        record_skip_metrics(self.metrics, self.task.spec, skip)
+        return skip
+
+    def close(self) -> None:
+        """Release per-worker resources (the shared golden view)."""
+        self.task.close()
+
+    def __call__(self, trial: int) -> TrialRecord | TrialError | TrialSkip:
         try:
             with span("trial"):
-                record = self.task(trial)
+                fault, meta = self.task.sample_trial(trial)
+                skip = self._maybe_skip(trial, meta)
+                if skip is not None:
+                    return skip
+                prep = self.task.build_trial(fault, meta)
+                injection = finish_injection(
+                    self.task.network, self.task.dtype, prep, meta["golden"],
+                    record=meta["record"], storage_dtype=self.task.storage_dtype,
+                )
+                record = self.task.complete_trial(meta, injection)
         except Exception as exc:
             return TrialError(
                 index=trial,
@@ -614,7 +812,12 @@ class _SafeTrialTask:
         for pos, trial in enumerate(indices):
             try:
                 with span("trial"):
-                    prep, meta = self.task.prepare_trial(trial)
+                    fault, meta = self.task.sample_trial(trial)
+                    skip = self._maybe_skip(trial, meta)
+                    if skip is not None:
+                        results[pos] = skip
+                        continue
+                    prep = self.task.build_trial(fault, meta)
                     if prep.masked:
                         injection = finish_injection(
                             self.task.network, self.task.dtype, prep,
@@ -683,12 +886,96 @@ class _SafeTrialTask:
         return snap
 
 
+class _EarlyStopPlanner:
+    """Wave scheduler for statistical early stopping.
+
+    Trials are planned in fixed waves of ``spec.stop_check_every``
+    indices.  Before wave ``w`` is released, every trial of waves
+    ``< w`` has resolved (the parallel layer runs rounds to completion),
+    so the stop decision for wave ``w`` looks at exactly the records in
+    the index prefix ``[0, w * stop_check_every)`` — a pure function of
+    the spec and the checkpoint contents, never of ``jobs``, ``batch``,
+    ``chunk``, arrival order or wall-clock.  Serial, parallel,
+    shared-memory and kill/resume executions therefore make identical
+    skip decisions trial-for-trial.
+
+    A stratum *closes* once the Wilson 95% half-width of its
+    ``stop_sdc_class`` rate drops to ``target_halfwidth``.  Closed
+    strata stop accumulating records (their trials are skipped), so
+    their estimates — and the closed set — are monotone: a closed
+    stratum never reopens.  The campaign stops globally at the first
+    boundary where every *observed* stratum is closed.
+    """
+
+    def __init__(self, spec: CampaignSpec, done: dict, recorder: EventRecorder):
+        self.spec = spec
+        self.done = done
+        self.recorder = recorder
+        #: First index of the next wave to release.
+        self.lo = 0
+        #: Next index to fold into ``counts`` (everything below is in).
+        self._counted = 0
+        #: stratum key -> [successes, n] over resolved records.
+        self.counts: dict[str, list[int]] = {}
+        #: Boundary where the campaign stopped (None until it does).
+        self.stopped_at: int | None = None
+
+    def _fold_prefix(self, hi: int) -> None:
+        spec = self.spec
+        for i in range(self._counted, hi):
+            value = self.done.get(i)
+            if not isinstance(value, TrialRecord):
+                continue  # errors and skips carry no outcome
+            flag = value.outcome.flag(spec.stop_sdc_class)
+            if flag is None:
+                continue
+            key = stratum_key(spec.stop_stratify, value.site, value.block, value.bit)
+            cell = self.counts.setdefault(key, [0, 0])
+            cell[0] += int(flag)
+            cell[1] += 1
+        self._counted = hi
+
+    def _closed_strata(self) -> frozenset[str]:
+        target = self.spec.target_halfwidth
+        return frozenset(
+            key
+            for key, (successes, n) in self.counts.items()
+            if n > 0 and wilson_halfwidth(successes, n) <= target
+        )
+
+    def __call__(self):
+        """Next round: ``(indices, control)`` — or None when finished.
+
+        Skips waves fully covered by the checkpoint (their records still
+        fold into the counts, so a resumed run replays every decision of
+        the interrupted one bit-identically).
+        """
+        spec = self.spec
+        step = spec.stop_check_every
+        while self.lo < spec.n_trials:
+            self._fold_prefix(self.lo)
+            closed = self._closed_strata()
+            if self.counts and len(closed) == len(self.counts):
+                self.stopped_at = self.lo
+                self.recorder.emit(
+                    "early_stop", boundary=self.lo, strata=sorted(closed)
+                )
+                return None
+            hi = min(self.lo + step, spec.n_trials)
+            todo = [i for i in range(self.lo, hi) if i not in self.done]
+            self.lo = hi
+            if todo:
+                return todo, {"closed": tuple(sorted(closed))}
+        return None
+
+
 def run_campaign(
     spec: CampaignSpec,
     jobs: int | None = 1,
     *,
     batch: int = 1,
     chunk: int = 64,
+    shared_golden: bool | None = None,
     checkpoint: str | Path | None = None,
     resume: bool = False,
     checkpoint_every: int = 64,
@@ -724,6 +1011,14 @@ def run_campaign(
             checkpoint fingerprint — a campaign checkpointed at one
             batch size resumes correctly at another.
         chunk: Trials per inter-process message.
+        shared_golden: Publish the golden activations / quantized
+            weights / detector into a ``multiprocessing.shared_memory``
+            segment computed once by the parent; workers attach
+            read-only views instead of re-running golden inference.
+            ``None`` (the default) auto-enables it for multi-worker
+            runs.  Like ``batch``, a pure execution knob: the golden
+            bits are identical either way, so results, checkpoints and
+            metric counters are bit-identical with it on or off.
         checkpoint: JSONL checkpoint path; completed trials are
             periodically snapshotted there (atomically).
         resume: Skip trial indices already present in ``checkpoint``.
@@ -769,7 +1064,7 @@ def run_campaign(
     if spans:
         enable_spans()
     writer = None
-    done: dict[int, TrialRecord | TrialError] = {}
+    done: dict[int, TrialRecord | TrialError | TrialSkip] = {}
     resumed = 0
     if checkpoint is not None:
         # Imported lazily: checkpoint.py depends on this module's types.
@@ -781,12 +1076,15 @@ def run_campaign(
             if state is not None:
                 done.update(state.records)
                 done.update(state.errors)
+                done.update(state.skips)
                 writer.preload(state)
                 resumed = state.n_completed
                 # Replay completed trials into the registry so resumed
                 # totals match an uninterrupted run's exactly.
                 for prior in state.records.values():
                     record_trial_metrics(registry, prior)
+                for prior_skip in state.skips.values():
+                    record_skip_metrics(registry, spec, prior_skip)
                 recorder.emit("resume", completed=resumed, path=str(checkpoint))
 
     if checkpoint is not None and (manifest is None or run_log is None):
@@ -795,6 +1093,17 @@ def run_campaign(
         auto_manifest, auto_log = default_obs_paths(checkpoint)
         manifest = manifest if manifest is not None else auto_manifest
         run_log = run_log if run_log is not None else auto_log
+
+    remaining = [i for i in range(spec.n_trials) if i not in done]
+    planner = _EarlyStopPlanner(spec, done, recorder) if spec.target_halfwidth is not None else None
+    # Shared golden state pays off exactly when more than one worker
+    # would otherwise duplicate golden inference; ``shared_golden``
+    # forces it either way (it is outcome-neutral, see the docstring).
+    use_shm = (
+        shared_golden
+        if shared_golden is not None
+        else effective_jobs(jobs) > 1 and len(remaining) > 1
+    )
 
     observer = None
     if manifest is not None or run_log is not None:
@@ -816,13 +1125,13 @@ def run_campaign(
                 "jobs": jobs,
                 "resumed": resumed > 0,
                 "resumed_trials": resumed,
+                "shared_golden": use_shm,
                 "spec": to_jsonable(spec),
             },
         )
         observer.begin()
         recorder.add_sink(observer.event_sink)
 
-    remaining = [i for i in range(spec.n_trials) if i not in done]
     error_budget = max_error_frac * spec.n_trials
     n_errors = sum(1 for v in done.values() if isinstance(v, TrialError))
     since_flush = 0
@@ -876,6 +1185,8 @@ def run_campaign(
         if writer is not None:
             if isinstance(value, TrialError):
                 writer.add_error(index, value)
+            elif isinstance(value, TrialSkip):
+                writer.add_skip(index, value)
             else:
                 writer.add_record(index, value)
             since_flush += 1
@@ -902,17 +1213,33 @@ def run_campaign(
                 checkpoint=Path(checkpoint) if checkpoint is not None else None,
             )
 
+    descriptor = None
+    shm_handle = None
     try:
         try:
             if remaining:
+                if use_shm:
+                    from repro.core.sharedgolden import publish_golden_state
+
+                    # The parent pays for golden inference / detector
+                    # learning exactly once; workers attach read-only.
+                    with span("shm_publish"):
+                        proto = _CampaignTask(spec)
+                        descriptor, shm_handle = publish_golden_state(proto)
+                    recorder.emit(
+                        "shm_publish",
+                        segment=descriptor.segment,
+                        nbytes=descriptor.nbytes,
+                    )
                 # functools.partial (not a lambda) so the factory pickles
                 # into workers.
                 map_trials(
-                    partial(_SafeTrialTask, spec, spans, batch),
+                    partial(_SafeTrialTask, spec, spans, batch, descriptor),
                     n_trials=0,
                     jobs=jobs,
                     chunk=chunk,
                     indices=remaining,
+                    plan=planner,
                     timeout=trial_timeout,
                     timeout_grace=timeout_grace,
                     max_retries=max_retries,
@@ -922,7 +1249,18 @@ def run_campaign(
                     on_result=absorb,
                     on_obs=registry.merge_snapshot,
                 )
+            elif planner is not None:
+                # Fully-resumed early-stopping run: no trials to execute,
+                # but the stop boundary must still be replayed from the
+                # checkpointed prefix so ``stopped_at`` is reproduced.
+                while planner() is not None:
+                    pass
         finally:
+            if shm_handle is not None:
+                from repro.core.sharedgolden import release_segment
+
+                release_segment(shm_handle)
+                recorder.emit("shm_unlink", segment=descriptor.segment)
             if writer is not None and since_flush:
                 with span("checkpoint_flush"):
                     writer.flush()
@@ -944,24 +1282,35 @@ def run_campaign(
     drain_spans()
     records = [v for _, v in sorted(done.items()) if isinstance(v, TrialRecord)]
     errors = [v for _, v in sorted(done.items()) if isinstance(v, TrialError)]
+    skips = [v for _, v in sorted(done.items()) if isinstance(v, TrialSkip)]
     stats = build_stats()
     result = CampaignResult(
         spec=spec, records=records, errors=errors, stats=stats,
-        metrics=registry.snapshot(),
+        metrics=registry.snapshot(), skips=skips,
+        stopped_at=planner.stopped_at if planner is not None else None,
     )
     if observer is not None:
+        summary = {
+            "n_records": len(records),
+            "n_errors": len(errors),
+            "masked_fraction": result.masked_fraction,
+            "sdc": {cls: result.sdc_rate(cls).p for cls in SDC_CLASSES},
+        }
+        if planner is not None:
+            # Deterministic: skip decisions are a pure function of the
+            # spec and trial indices, so these agree across serial /
+            # parallel / shared-mem / resumed executions.
+            summary["early_stop"] = {
+                "n_skips": len(skips),
+                "stopped_at": result.stopped_at,
+            }
         observer.finish(
             status="completed",
             stats=_stats_dict(stats),
             metrics=result.metrics,
             events=recorder.counts,
             event_tail=_encode_events(recorder.tail()),
-            summary={
-                "n_records": len(records),
-                "n_errors": len(errors),
-                "masked_fraction": result.masked_fraction,
-                "sdc": {cls: result.sdc_rate(cls).p for cls in SDC_CLASSES},
-            },
+            summary=summary,
         )
     return result
 

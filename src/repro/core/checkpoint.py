@@ -16,8 +16,11 @@ File format (version 1) — JSON Lines:
 - line 1: header ``{"format": "repro-campaign-checkpoint", "version": 1,
   "fingerprint": ..., "spec": {...}}``
 - one line per completed trial: ``{"index": i, "record": {...}}`` for a
-  classified trial or ``{"index": i, "error": {...}}`` for a quarantined
-  one.
+  classified trial, ``{"index": i, "error": {...}}`` for a quarantined
+  one, or ``{"index": i, "skip": {...}}`` for a trial whose propagation
+  statistical early stopping elided (the skip carries the sampled fault
+  coordinates, so a resumed run replays the same decisions
+  bit-identically instead of re-deriving — or worse, re-running — them).
 
 Every flush rewrites the file as an atomic snapshot — pid-unique temp
 name + ``os.replace`` (the RP3xx atomic-write discipline, see
@@ -36,7 +39,7 @@ import json
 import os
 from pathlib import Path
 
-from repro.core.campaign import CampaignSpec, TrialError, TrialRecord
+from repro.core.campaign import CampaignSpec, TrialError, TrialRecord, TrialSkip
 from repro.core.outcome import Outcome
 from repro.core.serialize import from_jsonable, to_jsonable
 
@@ -122,6 +125,14 @@ def _decode_error(data: dict) -> TrialError:
     })
 
 
+def _decode_skip(data: dict) -> TrialSkip:
+    plain = from_jsonable(data)
+    assert isinstance(plain, dict)
+    return TrialSkip(**{
+        f.name: plain[f.name] for f in dataclasses.fields(TrialSkip) if f.name in plain
+    })
+
+
 @dataclasses.dataclass(frozen=True)
 class CheckpointState:
     """Completed work recovered from a checkpoint file."""
@@ -129,10 +140,11 @@ class CheckpointState:
     fingerprint: str | None
     records: dict[int, TrialRecord]
     errors: dict[int, TrialError]
+    skips: dict[int, TrialSkip] = dataclasses.field(default_factory=dict)
 
     @property
     def n_completed(self) -> int:
-        return len(self.records) + len(self.errors)
+        return len(self.records) + len(self.errors) + len(self.skips)
 
 
 def load_checkpoint(path: str | Path, spec: CampaignSpec | None = None) -> CheckpointState | None:
@@ -153,6 +165,7 @@ def load_checkpoint(path: str | Path, spec: CampaignSpec | None = None) -> Check
     fingerprint: str | None = None
     records: dict[int, TrialRecord] = {}
     errors: dict[int, TrialError] = {}
+    skips: dict[int, TrialSkip] = {}
     for line in path.read_text(encoding="utf-8").splitlines():
         line = line.strip()
         if not line:
@@ -169,6 +182,8 @@ def load_checkpoint(path: str | Path, spec: CampaignSpec | None = None) -> Check
                 records[index] = decode_record(data["record"])
             elif "error" in data:
                 errors[index] = _decode_error(data["error"])
+            elif "skip" in data:
+                skips[index] = _decode_skip(data["skip"])
         except (KeyError, TypeError, ValueError):
             continue
     if spec is not None:
@@ -179,7 +194,9 @@ def load_checkpoint(path: str | Path, spec: CampaignSpec | None = None) -> Check
                 f"but the requested campaign has {expected!r}; delete the file or "
                 "point --checkpoint elsewhere to start fresh"
             )
-    return CheckpointState(fingerprint=fingerprint, records=records, errors=errors)
+    return CheckpointState(
+        fingerprint=fingerprint, records=records, errors=errors, skips=skips
+    )
 
 
 class CheckpointWriter:
@@ -217,6 +234,11 @@ class CheckpointWriter:
                 "index": index,
                 "error": to_jsonable(dataclasses.asdict(error)),
             }
+        for index, skip in state.skips.items():
+            self._entries[index] = {
+                "index": index,
+                "skip": to_jsonable(dataclasses.asdict(skip)),
+            }
         self._dirty = self._dirty or state.n_completed > 0
 
     def add_record(self, index: int, record: TrialRecord) -> None:
@@ -225,6 +247,10 @@ class CheckpointWriter:
 
     def add_error(self, index: int, error: TrialError) -> None:
         self._entries[index] = {"index": index, "error": to_jsonable(dataclasses.asdict(error))}
+        self._dirty = True
+
+    def add_skip(self, index: int, skip: TrialSkip) -> None:
+        self._entries[index] = {"index": index, "skip": to_jsonable(dataclasses.asdict(skip))}
         self._dirty = True
 
     def flush(self) -> Path:

@@ -41,6 +41,10 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
         detector_kind=args.detect if args.detect != "off" else "sed",
         record_propagation=args.propagation,
         storage_dtype=args.storage_dtype,
+        target_halfwidth=getattr(args, "target_halfwidth", None),
+        stop_stratify=getattr(args, "stop_stratify", "overall"),
+        stop_check_every=getattr(args, "stop_check_every", 64),
+        stop_sdc_class=getattr(args, "stop_sdc_class", "sdc1"),
     )
 
 
@@ -69,7 +73,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch", type=int, default=1,
                         help="trials propagated per batched forward pass "
                              "(1 = serial; results are bit-identical)")
+    parser.add_argument("--shm", choices=("auto", "on", "off"), default="auto",
+                        help="shared-memory golden state: parent computes golden "
+                             "activations/weights once, workers attach read-only "
+                             "(auto = on for multi-worker runs; bit-identical)")
     parser.add_argument("--out", default=None, help="write the JSON summary here")
+    stopping = parser.add_argument_group("early stopping (docs/architecture.md)")
+    stopping.add_argument("--target-halfwidth", type=float, default=None, metavar="W",
+                          help="stop sampling a stratum once its Wilson 95%% "
+                               "half-width drops to W (part of the campaign "
+                               "identity; deterministic across jobs/batch/resume)")
+    stopping.add_argument("--stop-stratify", choices=("overall", "site", "block", "bit"),
+                          default="overall",
+                          help="stratum key the stopping rule tracks")
+    stopping.add_argument("--stop-check-every", type=int, default=64, metavar="N",
+                          help="trial-index boundary between stop decisions")
+    stopping.add_argument("--stop-sdc-class", choices=("sdc1", "sdc5", "sdc10", "sdc20"),
+                          default="sdc1",
+                          help="SDC class whose confidence interval drives stopping")
     resilience = parser.add_argument_group("resilience (docs/resilience.md)")
     resilience.add_argument("--checkpoint", default=None, metavar="PATH",
                             help="periodically snapshot completed trials to this JSONL file")
@@ -118,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
             spec,
             jobs=args.jobs,
             batch=args.batch,
+            shared_golden={"auto": None, "on": True, "off": False}[args.shm],
             checkpoint=args.checkpoint,
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
@@ -146,6 +168,12 @@ def main(argv: list[str] | None = None) -> int:
     title = f"{spec.network} / {spec.dtype} / {spec.target} ({spec.n_trials} injections)"
     print(format_table(["outcome", "probability (95% CI)"], rows, title=title))
     print(f"masked before output: {result.masked_fraction:.1%}")
+    if spec.target_halfwidth is not None:
+        saved = len(result.skips)
+        stopped = (f", stopped at trial {result.stopped_at}"
+                   if result.stopped_at is not None else "")
+        print(f"early stopping: {saved} propagations skipped{stopped} "
+              f"(target half-width {spec.target_halfwidth})")
     by_site = result.rate_by_site()
     if len(by_site) > 1:
         site_rows = [[s, str(r)] for s, r in by_site.items()]

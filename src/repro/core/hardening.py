@@ -131,12 +131,14 @@ def single_technique_overhead(
         return 0.0
     order = np.argsort(fit)[::-1]
     sorted_fit = fit[order]
-    budget = total / target_reduction  # residual FIT allowed
-    tol = 1e-12 * total  # relative: FIT totals can be arbitrarily small
     # Hardening the top-k latches leaves sum(rest) + sum(top)/r residual.
+    # Compare in achieved-reduction space (total / residual >= target) so
+    # the acceptance predicate is the same expression callers check the
+    # result against; residual-vs-budget round-trips one more division
+    # and can disagree by an ULP on exactly-met targets.
     protected_cum = np.concatenate(([0.0], np.cumsum(sorted_fit)))
     residual = (total - protected_cum) + protected_cum / technique.fit_reduction
-    ok = np.nonzero(residual <= budget + tol)[0]
+    ok = np.nonzero(total / residual >= target_reduction)[0]
     if ok.size == 0:
         return None
     k = int(ok[0])
@@ -161,13 +163,23 @@ class HardeningPlan:
 def _evaluate(
     fit: np.ndarray, choice: np.ndarray, options: list[tuple[str, float, float]]
 ) -> tuple[float, float]:
-    """Residual FIT and mean area overhead of a per-latch assignment."""
+    """Residual FIT and mean area overhead of a per-latch assignment.
+
+    The residual is accumulated per technique — sum the FIT assigned to
+    each option, then divide once by its reduction — not per latch.  A
+    division per latch rounds each term separately, which pushes plans
+    that meet the target exactly in real arithmetic one ULP past it
+    (e.g. ``1/37 + 30/37 > 31/37`` in float64).
+    """
     residual = 0.0
     overhead = 0.0
-    for i, c in enumerate(choice):
-        _, cost, reduction = options[c]
-        residual += fit[i] / reduction
-        overhead += cost
+    for c, (_, cost, reduction) in enumerate(options):
+        mask = choice == c
+        count = int(mask.sum())
+        if not count:
+            continue
+        residual += float(fit[mask].sum()) / reduction
+        overhead += cost * count
     return residual, overhead / fit.size
 
 
@@ -191,8 +203,9 @@ def optimize_hardening(
     total = fit.sum()
     if target_reduction <= 1.0 or total == 0:
         return HardeningPlan(["Baseline"] * n, 1.0 if total else float("inf"), 0.0)
-    budget = total / target_reduction
-    tol = 1e-12 * total  # relative: FIT totals can be arbitrarily small
+
+    def achieved_of(residual: float) -> float:
+        return total / residual if residual > 0 else float("inf")
 
     ordered = sorted(techniques, key=lambda t: t.area)
     options: list[tuple[str, float, float]] = [("Baseline", 0.0, 1.0)] + [
@@ -223,17 +236,20 @@ def optimize_hardening(
     for t_idx in range(1, len(options)):
         protected_cum = np.concatenate(([0.0], np.cumsum(fit[order])))
         residuals = (total - protected_cum) + protected_cum * inv_red[t_idx]
-        ok = np.nonzero(residuals <= budget + tol)[0]
+        ok = np.nonzero(total / residuals >= target_reduction)[0]
         if ok.size:
             choice = np.zeros(n, dtype=np.intp)
             choice[order[: int(ok[0])]] = t_idx
             candidates.append(choice)
 
+    # Accept in achieved-reduction space — the same expression the plan
+    # reports — so an accepted plan can never round to one ULP below the
+    # target it was accepted against.
     best_choice = None
     best_area = np.inf
     for choice in candidates:
         residual, area = _evaluate(fit, choice, options)
-        if residual <= budget + tol and area < best_area:
+        if achieved_of(residual) >= target_reduction and area < best_area:
             best_choice, best_area = choice, area
     if best_choice is None:
         # Unreachable target: strongest option everywhere.
@@ -242,5 +258,4 @@ def optimize_hardening(
 
     residual, _ = _evaluate(fit, best_choice, options)
     names = [options[c][0] for c in best_choice]
-    achieved = total / residual if residual > 0 else float("inf")
-    return HardeningPlan(names, achieved, best_area)
+    return HardeningPlan(names, achieved_of(residual), best_area)

@@ -105,6 +105,14 @@ def campaign_summary(result: CampaignResult) -> dict:
     for err in result.errors:
         by_reason[err.reason] = by_reason.get(err.reason, 0) + 1
     summary["errors"] = {"n": len(result.errors), "by_reason": by_reason}
+    if result.spec.target_halfwidth is not None:
+        # Deterministic (skip decisions are a pure function of the spec
+        # and the trial prefix), so it participates in parity diffs.
+        summary["early_stop"] = {
+            "n_skips": len(result.skips),
+            "stopped_at": result.stopped_at,
+            "sampled": result.n_trials,
+        }
     summary["execution"] = to_jsonable(result.stats)
     # Deterministic metric sections only: the summary must compare equal
     # across serial / parallel / resumed runs (the CI smoke test diffs

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RateEstimate", "wilson_interval", "combine_counts"]
+__all__ = ["RateEstimate", "wilson_interval", "wilson_halfwidth", "combine_counts"]
 
 _Z95 = 1.959963984540054  # two-sided 95% normal quantile
 
@@ -40,11 +40,30 @@ class RateEstimate:
 
     @property
     def ci95_halfwidth(self) -> float:
-        """Half-width of the 95% Wald interval (the paper's error bar)."""
-        if self.n == 0:
-            return 0.0
+        """Half-width of the 95% interval (the paper's error bar).
+
+        The Wald half-width collapses to 0.0 whenever every trial agreed
+        (0 or ``n`` successes) — with n=1 that would declare the rate
+        exactly known after a single injection, which is what made naive
+        early stopping unsound.  Degenerate counts therefore fall back to
+        the Wilson score half-width, which never collapses for finite
+        ``n`` (and is 0.5 — "anywhere in [0, 1]" — when ``n == 0``).
+        """
+        if self.n == 0 or self.successes in (0, self.n):
+            return wilson_halfwidth(self.successes, self.n)
         p = self.p
         return _Z95 * np.sqrt(p * (1.0 - p) / self.n)
+
+    @property
+    def wilson95_halfwidth(self) -> float:
+        """Half-width of the 95% Wilson score interval.
+
+        The quantity campaign early stopping compares against
+        ``CampaignSpec.target_halfwidth``: unlike the Wald width it is
+        strictly positive for every finite ``n``, so a stratum can never
+        be closed on the false certainty of a unanimous small sample.
+        """
+        return wilson_halfwidth(self.successes, self.n)
 
     @property
     def ci95(self) -> tuple[float, float]:
@@ -75,8 +94,24 @@ def wilson_interval(successes: int, n: int) -> tuple[float, float]:
     return (lo, hi)
 
 
+def wilson_halfwidth(successes: int, n: int) -> float:
+    """Half-width of the 95% Wilson score interval.
+
+    ``(hi - lo) / 2`` of :func:`wilson_interval`; 0.5 when ``n == 0``
+    (the interval is all of [0, 1] — nothing is known yet).
+    """
+    lo, hi = wilson_interval(successes, n)
+    return (hi - lo) / 2.0
+
+
 def combine_counts(estimates: list[RateEstimate]) -> RateEstimate:
-    """Pool several rate estimates (summing successes and trials)."""
+    """Pool several rate estimates (summing successes and trials).
+
+    An empty list pools to the empty estimate ``0/0`` — merged shard
+    results can legitimately contain empty strata.
+    """
+    if not estimates:
+        return RateEstimate(successes=0, n=0)
     return RateEstimate(
         successes=sum(e.successes for e in estimates),
         n=sum(e.n for e in estimates),

@@ -11,7 +11,7 @@ wires up trial counts, scale, seed and parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.core.campaign import CampaignResult, CampaignSpec, run_campaign
@@ -51,6 +51,19 @@ class ExperimentConfig:
         progress: Seconds between live progress lines on stderr
             (0 disables).
         spans: Collect hierarchical timing spans in every campaign.
+        shared_golden: Tri-state shared-memory golden state: None lets
+            :func:`~repro.core.campaign.run_campaign` auto-enable it for
+            multi-worker runs; True/False force it on/off.  Bit-identical
+            either way (docs/architecture.md, "Shared golden state").
+        target_halfwidth: When set, overrides every campaign spec's
+            Wilson-CI early-stopping target (docs/architecture.md,
+            "Early stopping").  Spec-identity caveat: this *changes* the
+            campaign fingerprint, so checkpoints/manifests from runs
+            without it do not resume into runs with it.
+        stop_stratify: Stratum key for the stopping rule (only applied
+            when ``target_halfwidth`` is set).
+        stop_check_every: Trial-index boundary between stop decisions
+            (only applied when ``target_halfwidth`` is set).
     """
 
     trials: int = 300
@@ -66,6 +79,10 @@ class ExperimentConfig:
     obs_dir: str | None = None
     progress: float = 0.0
     spans: bool = False
+    shared_golden: bool | None = None
+    target_halfwidth: float | None = None
+    stop_stratify: str = "overall"
+    stop_check_every: int = 64
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -88,6 +105,16 @@ def campaign(spec: CampaignSpec, jobs: int = 1, cfg: ExperimentConfig | None = N
         cfg: When given, its resilience knobs (timeout, retries, error
             budget, checkpointing) are applied to the run.
     """
+    if cfg is not None and cfg.target_halfwidth is not None:
+        # Early stopping is part of the campaign identity (it changes
+        # which trials run), so it belongs on the spec — and must be
+        # applied *before* the memo lookup and fingerprinting.
+        spec = replace(
+            spec,
+            target_halfwidth=cfg.target_halfwidth,
+            stop_stratify=cfg.stop_stratify,
+            stop_check_every=cfg.stop_check_every,
+        )
     cached = _campaign_cache.get(spec)
     if cached is None:
         kwargs: dict = {}
@@ -100,6 +127,7 @@ def campaign(spec: CampaignSpec, jobs: int = 1, cfg: ExperimentConfig | None = N
                 max_error_frac=cfg.max_error_frac,
                 spans=cfg.spans,
                 progress_every=cfg.progress,
+                shared_golden=cfg.shared_golden,
             )
             if cfg.checkpoint_dir is not None or cfg.obs_dir is not None:
                 from repro.core.checkpoint import campaign_fingerprint

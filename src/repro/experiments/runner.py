@@ -139,7 +139,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch", type=int, default=1,
                         help="trials propagated per batched forward pass "
                              "(1 = serial; results are bit-identical)")
+    parser.add_argument("--shm", choices=("auto", "on", "off"), default="auto",
+                        help="shared-memory golden state: compute goldens once in "
+                             "the parent, workers attach read-only (auto = on for "
+                             "multi-worker campaigns; bit-identical)")
     parser.add_argument("--out", default=None, help="directory for JSON/text artifacts")
+    stopping = parser.add_argument_group("early stopping (docs/architecture.md)")
+    stopping.add_argument("--target-halfwidth", type=float, default=None, metavar="W",
+                          help="stop sampling each campaign stratum once its Wilson "
+                               "95%% half-width drops to W (changes campaign "
+                               "fingerprints; deterministic across jobs/batch/resume)")
+    stopping.add_argument("--stop-stratify", choices=("overall", "site", "block", "bit"),
+                          default="overall",
+                          help="stratum key the stopping rule tracks")
+    stopping.add_argument("--stop-check-every", type=int, default=64, metavar="N",
+                          help="trial-index boundary between stop decisions")
     resilience = parser.add_argument_group("resilience (docs/resilience.md)")
     resilience.add_argument("--trial-timeout", type=float, default=None, metavar="SEC",
                             help="per-trial time budget; hung chunks are killed and retried")
@@ -180,6 +194,10 @@ def main(argv: list[str] | None = None) -> int:
         max_error_frac=args.max_error_frac, checkpoint_dir=args.checkpoint_dir,
         resume=args.resume, obs_dir=args.obs_dir, progress=args.progress,
         spans=args.spans,
+        shared_golden={"auto": None, "on": True, "off": False}[args.shm],
+        target_halfwidth=args.target_halfwidth,
+        stop_stratify=args.stop_stratify,
+        stop_check_every=args.stop_check_every,
     )
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in targets:

@@ -21,10 +21,13 @@ Recipe types
   ``benchmarks/BENCH_<date>.json`` snapshot, optionally (re)generating
   the gauges by running a benchmark file when they are absent.
 - ``campaign_parity`` — run one campaign under several execution
-  variants (``jobsN``, ``batchN``, ``resume``) and require every
-  summary to be byte-identical to the serial baseline; the ``resume``
-  variant also diffs the two run manifests through
-  :func:`repro.obs.cli.compare_runs`.
+  variants (``jobsN``, ``batchN``, ``shmN``, ``resume``) and require
+  every summary to be byte-identical to the serial baseline; the
+  ``resume`` variant also diffs the two run manifests through
+  :func:`repro.obs.cli.compare_runs`, and ``shmN`` forces the
+  shared-memory golden path on.  Optional ``target_halfwidth`` /
+  ``stop_stratify`` / ``stop_check_every`` params put the early-stopping
+  rule on the spec so its skip decisions are part of the parity.
 - ``lint`` — in-process ``repro-lint`` sweep; any finding is a failure.
 - ``obs_diff`` — compare two existing run manifests / run logs.
 - ``command`` — arbitrary argv; exit 0 is the invariant.
@@ -219,19 +222,22 @@ def _summary_divergences(base: dict, other: dict) -> list[str]:
 def _recipe_campaign_parity(params: dict, root: Path, timeout: float) -> dict:
     del timeout  # the supervised pool's per-recipe deadline is the backstop
     from repro.core.campaign import CampaignSpec, run_campaign
-    from repro.core.checkpoint import CheckpointWriter
     from repro.obs.cli import compare_runs
     from repro.obs.manifest import load_run
 
     network = params.get("network")
     if not isinstance(network, str) or not network:
         return {"status": "error", "pointer": "campaign_parity needs 'network'", "evidence": {}}
+    halfwidth = params.get("target_halfwidth")
     spec = CampaignSpec(
         network=network,
         dtype=str(params.get("dtype", "FLOAT16")),
         target=str(params.get("target", "datapath")),
         n_trials=int(params.get("trials", 48)),
         seed=int(params.get("seed", 9)),
+        target_halfwidth=float(halfwidth) if halfwidth is not None else None,
+        stop_stratify=str(params.get("stop_stratify", "overall")),
+        stop_check_every=int(params.get("stop_check_every", 64)),
     )
     variants = params.get("variants", ["jobs2", "batch16", "resume"])
 
@@ -239,7 +245,12 @@ def _recipe_campaign_parity(params: dict, root: Path, timeout: float) -> dict:
     base_summary = _comparable_summary(baseline)
     per_variant: dict[str, dict] = {}
     for variant in variants:
-        if variant.startswith("jobs"):
+        if variant.startswith("shm"):
+            # Shared-memory golden state, forced on even for jobs=1 so
+            # the parity holds on single-core CI runners too.
+            result = run_campaign(spec, jobs=int(variant[3:] or 2), shared_golden=True)
+            diverged = _summary_divergences(base_summary, _comparable_summary(result))
+        elif variant.startswith("jobs"):
             result = run_campaign(spec, jobs=int(variant[4:] or 2))
             diverged = _summary_divergences(base_summary, _comparable_summary(result))
         elif variant.startswith("batch"):
@@ -247,15 +258,20 @@ def _recipe_campaign_parity(params: dict, root: Path, timeout: float) -> dict:
             diverged = _summary_divergences(base_summary, _comparable_summary(result))
         elif variant == "resume":
             with tempfile.TemporaryDirectory(prefix="repro-gate-") as tmp:
-                # A kill at ~50%: a checkpoint holding only the first
-                # half of the records, then a resumed run on top of it.
+                # A kill at ~50%: the reference run's checkpoint truncated
+                # to its first half of entry lines (header preserved), then
+                # a resumed run on top of it.  Truncating the real file —
+                # rather than re-writing records by position — keeps trial
+                # indices and early-stop skip entries faithful.
                 ref_ck = Path(tmp) / "ref.jsonl"
-                ref = run_campaign(spec, checkpoint=ref_ck)
+                run_campaign(spec, checkpoint=ref_ck)
                 half_ck = Path(tmp) / "half.jsonl"
-                writer = CheckpointWriter(half_ck, spec)
-                for trial, record in enumerate(ref.records[: spec.n_trials // 2]):
-                    writer.add_record(trial, record)
-                writer.flush()
+                lines = ref_ck.read_text(encoding="utf-8").splitlines()
+                header, entries = lines[0], lines[1:]
+                half_ck.write_text(
+                    "\n".join([header] + entries[: len(entries) // 2]) + "\n",
+                    encoding="utf-8",
+                )
                 result = run_campaign(spec, checkpoint=half_ck, resume=True)
                 diverged = _summary_divergences(base_summary, _comparable_summary(result))
                 # The run manifests must agree on every deterministic

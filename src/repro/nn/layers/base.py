@@ -155,6 +155,40 @@ class MacLayer(Layer):
         """Drop quantized-weight caches (call after mutating parameters)."""
         self._qweights.clear()
 
+    def cached_quantized_weights(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Snapshot of the warmed per-format weight cache.
+
+        Used by :mod:`repro.core.sharedgolden` to publish the quantized
+        weights a campaign parent has already paid for into a shared
+        segment; formats not in the cache are simply recomputed lazily by
+        :meth:`quantized_weights`.
+        """
+        return dict(self._qweights)
+
+    def install_quantized_weights(
+        self, dtype_name: str, weight: np.ndarray, bias: np.ndarray
+    ) -> bool:
+        """Seed the weight cache for one format with externally-held arrays.
+
+        The campaign workers hand in read-only views into a shared-memory
+        segment so :meth:`quantized_weights` never re-quantizes what the
+        parent already published.  Callers own array lifetime.
+
+        A format already in the cache is left alone and ``False`` is
+        returned: forked workers inherit the parent's warm private
+        arrays, which must not be shadowed by segment views — the views
+        die when the segment is detached, and purging them would throw
+        away quantization work the process already paid for.
+        """
+        if dtype_name in self._qweights:
+            return False
+        self._qweights[dtype_name] = (weight, bias)
+        return True
+
+    def discard_quantized_weights(self, dtype_name: str) -> None:
+        """Drop one format's cache entry (for purging installed views)."""
+        self._qweights.pop(dtype_name, None)
+
     # -- fault-injection support --------------------------------------------- #
     @abc.abstractmethod
     def output_elements(self, in_shape: Shape) -> int:

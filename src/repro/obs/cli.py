@@ -185,7 +185,7 @@ def render_tail(run: dict, n: int = 20, kind: str | None = None) -> str:
 
 #: ``run`` meta keys that describe *how* a run executed, not *what* it
 #: computed: two byte-identical campaigns may legitimately differ here.
-_EXECUTION_META = ("jobs", "resumed", "resumed_trials")
+_EXECUTION_META = ("jobs", "resumed", "resumed_trials", "shared_golden")
 
 
 def run_identity(run: dict) -> dict:

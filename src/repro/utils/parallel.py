@@ -94,6 +94,11 @@ class _Chunk:
     #: a crash-exhausted singleton is re-run solo — failing alone is
     #: unambiguous guilt, succeeding alone is vindication.
     solo: bool = False
+    #: Planner control message for the chunk's round (picklable; applied
+    #: via ``task.apply_control`` in whichever worker runs the chunk).
+    #: Retries and bisection halves inherit it, so a re-run chunk always
+    #: executes under its original round's state.
+    ctl: object = None
 
 
 def _init_worker(task_factory: Callable[[], object]) -> None:
@@ -139,7 +144,32 @@ def _run_slice(task, indices: Sequence[int]) -> list[tuple] | None:
     return [("ok", i, v) for i, v in zip(indices, values)]
 
 
-def _run_chunk(indices: Sequence[int]) -> list:
+def _apply_ctl(task: object, ctl: object) -> None:
+    """Install a round's control message on a task, when both exist.
+
+    Control messages *replace* prior state (see the campaign task's
+    ``apply_control``), so a worker that served round ``w`` and is then
+    handed round ``w+2`` holds exactly round ``w+2``'s state — workers
+    are interchangeable and chunk placement stays outcome-neutral.
+    """
+    if ctl is None:
+        return
+    apply = getattr(task, "apply_control", None)
+    if callable(apply):
+        apply(ctl)
+
+
+def _close_task(task: object) -> None:
+    """Best-effort ``task.close()`` (shared-memory views and the like)."""
+    close = getattr(task, "close", None)
+    if callable(close):
+        try:
+            close()
+        except Exception:
+            pass
+
+
+def _run_chunk(indices: Sequence[int], ctl: object = None) -> list:
     """Worker body: run each trial, capturing per-trial exceptions.
 
     Returns ``("ok", i, value)`` / ``("err", i, exc_type, summary)``
@@ -156,6 +186,7 @@ def _run_chunk(indices: Sequence[int]) -> list:
     forward pass.
     """
     assert _WORKER_TASK is not None, "worker not initialised"
+    _apply_ctl(_WORKER_TASK, ctl)
     out: list[tuple] | None = None
     with span("chunk"):
         if _batched(_WORKER_TASK):
@@ -196,9 +227,11 @@ class _Supervisor:
         on_event: Callable[[str, dict], None] | None,
         on_result: Callable[[int, object], None] | None,
         on_obs: Callable[[object], None] | None = None,
+        plan: Callable[[], tuple[Sequence[int], object] | None] | None = None,
     ):
         self.task_factory = task_factory
         self.n_jobs = n_jobs
+        self.chunk = chunk
         self.timeout = timeout
         self.timeout_grace = timeout_grace
         self.max_retries = max_retries
@@ -208,17 +241,27 @@ class _Supervisor:
         self.on_event = on_event
         self.on_result = on_result
         self.on_obs = on_obs
+        self.plan = plan
 
         self.results: dict[int, object] = {}
-        self.pending: deque[_Chunk] = deque(
-            _Chunk(list(indices[s : s + chunk])) for s in range(0, len(indices), chunk)
-        )
+        self.pending: deque[_Chunk] = deque()
         self.probation: deque[_Chunk] = deque()
         self.in_flight: dict[Future, tuple[_Chunk, float | None]] = {}
         self.error_attempts: dict[int, int] = {}
         self.pool: ProcessPoolExecutor | None = None
         self.consecutive_rebuilds = 0
         self.ever_succeeded = False
+        self.degraded = False
+        self.inline_task: object | None = None
+        if plan is None:
+            self._enqueue(indices, None)
+
+    def _enqueue(self, indices: Sequence[int], ctl: object) -> None:
+        indices = list(indices)
+        self.pending.extend(
+            _Chunk(indices[s : s + self.chunk], ctl=ctl)
+            for s in range(0, len(indices), self.chunk)
+        )
 
     # -- bookkeeping ------------------------------------------------------ #
     def _record(self, index: int, value: object) -> None:
@@ -247,8 +290,8 @@ class _Supervisor:
             _emit(self.on_event, "bisect", span=span, reason=reason)
             # Fresh budgets: each half gets a fair chance to prove the
             # poison trial lives in the other half.
-            self.pending.appendleft(_Chunk(c.indices[mid:]))
-            self.pending.appendleft(_Chunk(c.indices[:mid]))
+            self.pending.appendleft(_Chunk(c.indices[mid:], ctl=c.ctl))
+            self.pending.appendleft(_Chunk(c.indices[:mid], ctl=c.ctl))
         elif reason == "crash":
             # A crash cannot be attributed: this singleton's budget may
             # have been burned by a chunk-mate's worker dying.  Re-run it
@@ -306,10 +349,18 @@ class _Supervisor:
     def _degrade_inline(self) -> None:
         self.pending.extend(self.probation)
         self.probation.clear()
-        _emit(self.on_event, "degrade", remaining=sum(len(c.indices) for c in self.pending))
-        task = self.task_factory()
+        if not self.degraded:
+            self.degraded = True
+            _emit(self.on_event, "degrade",
+                  remaining=sum(len(c.indices) for c in self.pending))
+        if self.inline_task is None:
+            # Built once and reused across planner rounds: degradation is
+            # sticky for the rest of the map, so setup is paid once.
+            self.inline_task = self.task_factory()
+        task = self.inline_task
         while self.pending:
             c = self.pending.popleft()
+            _apply_ctl(task, c.ctl)
             with span("chunk"):
                 batched = _run_slice(task, c.indices) if _batched(task) else None
                 if batched is not None:
@@ -327,7 +378,7 @@ class _Supervisor:
             self.on_obs(collect())
 
     # -- completed-future processing --------------------------------------- #
-    def _absorb(self, payload: list) -> None:
+    def _absorb(self, payload: list, ctl: object = None) -> None:
         for item in payload:
             if item[0] == "ok":
                 _, i, value = item
@@ -344,35 +395,57 @@ class _Supervisor:
                 else:
                     _emit(self.on_event, "retry", span=(i, i), attempt=attempts,
                           reason="error", exc_type=exc_type)
-                    self.pending.append(_Chunk([i], attempts=attempts))
+                    self.pending.append(_Chunk([i], attempts=attempts, ctl=ctl))
 
     # -- main loop ---------------------------------------------------------- #
     def run(self) -> dict[int, object]:
         try:
-            while self.pending or self.probation or self.in_flight:
-                if self.pool is None:
-                    # Degrade only when the pool has NEVER completed a
-                    # chunk — i.e. pool execution itself is broken.  Once
-                    # any chunk has succeeded, crashes are chunk-induced
-                    # and bisection/solo-probation will isolate them;
-                    # running a crashing trial inline would kill the
-                    # parent process.
-                    if self.consecutive_rebuilds > self.max_rebuilds and not self.ever_succeeded:
-                        self._degrade_inline()
+            if self.plan is None:
+                self._run_round()
+            else:
+                # Planner mode: each round is released only after the
+                # previous one fully resolved — the barrier that makes
+                # the planner's decisions a pure function of the trial
+                # prefix, independent of jobs/chunk/arrival order.
+                while True:
+                    nxt = self.plan()
+                    if nxt is None:
                         break
-                    self._build_pool()
-                try:
-                    self._top_up()
-                    broken = self._drain()
-                except BrokenProcessPool:
-                    self._reclaim_in_flight("crash", blame=True)
-                    broken = True
-                if broken:
-                    self.consecutive_rebuilds += 1
-                    self._teardown_pool(kill=False)
+                    round_indices, ctl = nxt
+                    self._enqueue(round_indices, ctl)
+                    self._run_round()
         finally:
             self._teardown_pool(kill=False)
+            if self.inline_task is not None:
+                _close_task(self.inline_task)
+                self.inline_task = None
         return self.results
+
+    def _run_round(self) -> None:
+        if self.degraded:
+            self._degrade_inline()
+            return
+        while self.pending or self.probation or self.in_flight:
+            if self.pool is None:
+                # Degrade only when the pool has NEVER completed a
+                # chunk — i.e. pool execution itself is broken.  Once
+                # any chunk has succeeded, crashes are chunk-induced
+                # and bisection/solo-probation will isolate them;
+                # running a crashing trial inline would kill the
+                # parent process.
+                if self.consecutive_rebuilds > self.max_rebuilds and not self.ever_succeeded:
+                    self._degrade_inline()
+                    break
+                self._build_pool()
+            try:
+                self._top_up()
+                broken = self._drain()
+            except BrokenProcessPool:
+                self._reclaim_in_flight("crash", blame=True)
+                broken = True
+            if broken:
+                self.consecutive_rebuilds += 1
+                self._teardown_pool(kill=False)
 
     def _top_up(self) -> None:
         """Keep at most ``n_jobs`` chunks in flight.
@@ -398,7 +471,7 @@ class _Supervisor:
                     time.perf_counter() + self.timeout * len(c.indices) + self.timeout_grace
                 )
             try:
-                fut = self.pool.submit(_run_chunk, c.indices)
+                fut = self.pool.submit(_run_chunk, c.indices, c.ctl)
             except (BrokenProcessPool, RuntimeError):
                 queue = self.probation if c.solo else self.pending
                 queue.appendleft(c)
@@ -434,7 +507,7 @@ class _Supervisor:
                 continue
             self.consecutive_rebuilds = 0
             self.ever_succeeded = True
-            self._absorb(payload)
+            self._absorb(payload, c.ctl)
         if broken:
             self._reclaim_in_flight("crash", blame=True)
             return True
@@ -466,6 +539,35 @@ class _Supervisor:
         return False
 
 
+def _run_inline(task, indices: Sequence[int], chunk: int,
+                on_result: Callable[[int, object], None] | None) -> list:
+    """Run ``indices`` through a task in this process (no supervision)."""
+    results: list = []
+    if _batched(task) and len(indices) > 1:
+        # Chunk-sized slices bound how many prepared-but-unpropagated
+        # corruptions are held at once and keep on_result streaming.
+        for s in range(0, len(indices), chunk):
+            part = list(indices[s : s + chunk])
+            with span("chunk"):
+                batched = _run_slice(task, part)
+            for i, value in (
+                ((i, v) for _, i, v in batched)
+                if batched is not None
+                else ((i, task(i)) for i in part)
+            ):
+                if on_result is not None:
+                    on_result(i, value)
+                results.append(value)
+    else:
+        with span("chunk"):
+            for i in indices:
+                value = task(i)
+                if on_result is not None:
+                    on_result(i, value)
+                results.append(value)
+    return results
+
+
 def map_trials(
     task_factory: Callable[[], Callable[[int], object]],
     n_trials: int,
@@ -473,6 +575,7 @@ def map_trials(
     chunk: int = 64,
     *,
     indices: Sequence[int] | None = None,
+    plan: Callable[[], tuple[Sequence[int], object] | None] | None = None,
     timeout: float | None = None,
     timeout_grace: float = 5.0,
     max_retries: int = 2,
@@ -496,6 +599,16 @@ def map_trials(
         chunk: Trials per inter-process message (must be >= 1).
         indices: Explicit trial indices to run instead of
             ``range(n_trials)`` (checkpoint resume runs the gap set).
+        plan: Round scheduler (statistical early stopping builds on
+            this).  Called with no arguments; returns ``(indices, ctl)``
+            for the next round, or None when the map is finished.  Each
+            round runs to full resolution before the next ``plan()``
+            call — a deterministic barrier — and ``ctl`` (a small
+            picklable message) is installed on the executing task via
+            ``task.apply_control(ctl)`` before any of the round's trials
+            run, including on retries, bisection halves and degraded
+            inline execution.  When given, ``n_trials``/``indices`` are
+            ignored.
         timeout: Per-trial time budget in seconds; a chunk's deadline is
             ``timeout * len(chunk) + timeout_grace``.  None disables
             deadlines.  Ignored inline (a wedged trial cannot be killed
@@ -533,40 +646,43 @@ def map_trials(
         indices = range(n_trials)
     indices = list(indices)
 
-    if n_jobs == 1 or len(indices) <= 1:
+    if plan is not None and n_jobs == 1:
         task = task_factory()
-        results = []
-        if _batched(task) and len(indices) > 1:
-            # Chunk-sized slices bound how many prepared-but-unpropagated
-            # corruptions are held at once and keep on_result streaming.
-            for s in range(0, len(indices), chunk):
-                part = indices[s : s + chunk]
-                with span("chunk"):
-                    batched = _run_slice(task, part)
-                for i, value in (
-                    ((i, v) for _, i, v in batched)
-                    if batched is not None
-                    else ((i, task(i)) for i in part)
-                ):
-                    if on_result is not None:
-                        on_result(i, value)
-                    results.append(value)
-        else:
-            with span("chunk"):
-                for i in indices:
-                    value = task(i)
-                    if on_result is not None:
-                        on_result(i, value)
-                    results.append(value)
-        collect = getattr(task, "collect_obs", None)
-        if callable(collect) and on_obs is not None:
-            on_obs(collect())
+        try:
+            results = []
+            while True:
+                nxt = plan()
+                if nxt is None:
+                    break
+                round_indices, ctl = nxt
+                _apply_ctl(task, ctl)
+                results.extend(_run_inline(task, list(round_indices), chunk, on_result))
+            collect = getattr(task, "collect_obs", None)
+            if callable(collect) and on_obs is not None:
+                on_obs(collect())
+        finally:
+            _close_task(task)
+        return results
+
+    if plan is None and (n_jobs == 1 or len(indices) <= 1):
+        task = task_factory()
+        try:
+            results = _run_inline(task, indices, chunk, on_result)
+            collect = getattr(task, "collect_obs", None)
+            if callable(collect) and on_obs is not None:
+                on_obs(collect())
+        finally:
+            _close_task(task)
         return results
 
     supervisor = _Supervisor(
         task_factory=task_factory,
         indices=indices,
-        n_jobs=min(n_jobs, max(1, (len(indices) + chunk - 1) // chunk)),
+        n_jobs=(
+            n_jobs
+            if plan is not None
+            else min(n_jobs, max(1, (len(indices) + chunk - 1) // chunk))
+        ),
         chunk=chunk,
         timeout=timeout,
         timeout_grace=timeout_grace,
@@ -577,6 +693,9 @@ def map_trials(
         on_event=on_event,
         on_result=on_result,
         on_obs=on_obs,
+        plan=plan,
     )
     resolved = supervisor.run()
+    if plan is not None:
+        return [resolved[i] for i in sorted(resolved)]
     return [resolved[i] for i in indices]

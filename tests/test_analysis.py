@@ -74,7 +74,7 @@ class TestRegistry:
     def test_ids_are_stable_and_unique(self):
         rule_ids = [rule.id for rule in all_rules()]
         assert len(rule_ids) == len(set(rule_ids))
-        assert {"RP101", "RP102", "RP103", "RP104", "RP105", "RP201", "RP202", "RP203",
+        assert {"RP101", "RP102", "RP103", "RP104", "RP105", "RP106", "RP201", "RP202", "RP203",
                 "RP301", "RP302", "RP401", "RP402", "RP501", "RP502", "RP503",
                 "RP601", "RP611", "RP612", "RP621", "RP622"} <= set(rule_ids)
 
@@ -83,7 +83,7 @@ class TestRegistry:
             get_rule("RP999")
 
     def test_expand_family_selector(self):
-        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103", "RP104", "RP105"}
+        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103", "RP104", "RP105", "RP106"}
         assert expand_ids(["RP3xx"]) == {"RP301", "RP302"}
         with pytest.raises(KeyError):
             expand_ids(["RP9"])
@@ -163,6 +163,55 @@ class TestDeterminismRules:
         """
         findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
         assert "RP104" not in ids(findings)
+
+    def test_rp106_golden_subscript_write(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def corrupt(golden, i, v):
+            golden.scores[i] = v
+        """
+        inside = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        outside = lint_snippet(tmp_path, code, relpath="repro/zoo/mod.py")
+        assert "RP106" in ids(inside)
+        assert "RP106" not in ids(outside)
+
+    def test_rp106_augmented_write_and_nested_chain(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def corrupt(task, i):
+            task.goldens[i].scores += 1.0
+            task.goldens[i].activations[0][3] = 0.0
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert [f.rule_id for f in findings if f.rule_id == "RP106"] == ["RP106", "RP106"]
+
+    def test_rp106_copy_then_corrupt_clean(self, tmp_path):
+        code = """
+        __all__ = []
+        import numpy as np
+
+        def inject(golden, i, v):
+            faulty = golden.scores.copy()
+            faulty[i] = v
+            golden_copy = np.ascontiguousarray(golden.scores)
+            golden_copy[i] = v
+            return faulty, golden_copy
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP106" not in ids(findings)
+
+    def test_rp106_rebind_clean(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def swap(new):
+            golden = new
+            return golden
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP106" not in ids(findings)
 
 
 class TestObservabilityRules:

@@ -105,8 +105,31 @@ class TestRateEstimate:
         assert 0.0 <= lo <= hi <= 1.0
 
     def test_zero_trials(self):
+        # n=0 means "anywhere in [0, 1]": half the unit interval, never a
+        # fake certainty of 0.0 (that would stop a stratum before its
+        # first trial).
         r = RateEstimate(0, 0)
-        assert r.ci95_halfwidth == 0.0
+        assert r.ci95_halfwidth == 0.5
+
+    def test_degenerate_counts_keep_positive_width(self):
+        # 0 or n successes collapse the Wald width to 0.0; the estimator
+        # must fall back to Wilson so one unanimous trial cannot claim an
+        # exactly-known rate (the early-stopping soundness fix).
+        for est in (RateEstimate(0, 1), RateEstimate(1, 1), RateEstimate(0, 50)):
+            assert est.ci95_halfwidth > 0.0
+            lo, hi = wilson_interval(est.successes, est.n)
+            assert est.ci95_halfwidth == pytest.approx((hi - lo) / 2.0)
+        # Non-degenerate counts keep the paper's Wald error bar.
+        mixed = RateEstimate(3, 10)
+        assert mixed.ci95_halfwidth == pytest.approx(
+            1.959963984540054 * np.sqrt(0.3 * 0.7 / 10)
+        )
+
+    def test_wilson95_halfwidth_matches_interval(self):
+        est = RateEstimate(7, 100)
+        lo, hi = est.wilson95()
+        assert est.wilson95_halfwidth == pytest.approx((hi - lo) / 2.0)
+        assert RateEstimate(0, 0).wilson95_halfwidth == 0.5
 
     def test_str_format(self):
         assert "n=100" in str(RateEstimate(7, 100))
@@ -114,6 +137,12 @@ class TestRateEstimate:
     def test_combine(self):
         pooled = combine_counts([RateEstimate(1, 10), RateEstimate(3, 30)])
         assert pooled.successes == 4 and pooled.n == 40
+
+    def test_combine_empty(self):
+        # Merged shard results can legitimately contain empty strata.
+        pooled = combine_counts([])
+        assert pooled.successes == 0 and pooled.n == 0
+        assert pooled.p == 0.0
 
     @given(k=st.integers(0, 50), extra=st.integers(0, 50))
     @settings(max_examples=50, deadline=None)
