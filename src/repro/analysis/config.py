@@ -27,6 +27,9 @@ sinks by RP601) and ``dtype-sinks`` (fixed-point consumer names for
 RP611/RP612).  ``float-eq-exempt-paths`` and ``script-paths`` carve the
 test/benchmark suites and example scripts out of RP201 and RP501, where
 exact comparison and script-style modules are deliberate.
+``obs-writer-exempt-paths`` names the sanctioned atomic snapshot writers
+(checkpoint, manifest, tracer) that RP108 exempts from its ban on direct
+append-mode JSON writes in campaign paths.
 """
 
 from __future__ import annotations
@@ -66,6 +69,15 @@ class LintConfig:
         "repro/obs/cli.py",
         "repro/obs/progress.py",
         "repro/gate/cli.py",
+    )
+    #: The sanctioned atomic JSONL/JSON writers (RP108): campaign-path
+    #: code appending JSON records directly can tear on SIGKILL and
+    #: break the byte-identity contract; these modules *are* the
+    #: snapshot writers and are exempt from their own rule.
+    obs_writer_exempt_paths: tuple[str, ...] = (
+        "repro/core/checkpoint.py",
+        "repro/obs/manifest.py",
+        "repro/obs/tracer.py",
     )
     #: Paths where exact float ==/!= is the *point* (bit-exactness
     #: assertions in the test/benchmark suites) — RP201 skips them.

@@ -47,6 +47,13 @@ from repro.obs.metrics import (
     merge_timing,
 )
 from repro.obs.spans import enable_spans, span, timing_snapshot
+from repro.obs.tracer import (
+    TRACE_MODES,
+    TraceWriter,
+    build_trace,
+    default_trace_path,
+    load_trace,
+)
 from repro.utils.parallel import TrialFailure, effective_jobs, exc_summary, map_trials
 from repro.utils.rng import child_rng
 from repro.zoo.registry import eval_inputs, get_network
@@ -126,6 +133,13 @@ class CampaignSpec:
         stop_sdc_class: SDC class whose confidence interval early
             stopping drives (default ``"sdc1"``, the paper's headline
             rate).
+        trace_mode: Propagation-trace selection policy: ``"off"`` (no
+            traces), ``"sample"`` (trials whose index is divisible by
+            ``trace_every``) or ``"all"``.  Selection is by trial index
+            — a pure function of the spec — so the traced subset is
+            part of the campaign identity (it changes the fingerprint),
+            never of ``jobs``/``batch``/arrival order.
+        trace_every: Sampling stride for ``trace_mode="sample"``.
     """
 
     network: str
@@ -150,6 +164,21 @@ class CampaignSpec:
     stop_stratify: str = "overall"
     stop_check_every: int = 64
     stop_sdc_class: str = "sdc1"
+    trace_mode: str = "off"
+    trace_every: int = 16
+
+    def trace_selected(self, index: int) -> bool:
+        """Whether trial ``index`` is in the traced subset.
+
+        Pure function of the spec and the index (the same discipline as
+        ``child_rng`` seeding), so serial, parallel, batched and
+        resumed executions trace exactly the same trials.
+        """
+        if self.trace_mode == "all":
+            return True
+        if self.trace_mode == "sample":
+            return index % self.trace_every == 0
+        return False
 
     def __post_init__(self) -> None:
         if self.target not in TARGETS:
@@ -174,6 +203,12 @@ class CampaignSpec:
             raise ValueError("stop_check_every must be >= 1")
         if self.stop_sdc_class not in SDC_CLASSES:
             raise ValueError(f"unknown SDC class {self.stop_sdc_class!r}")
+        if self.trace_mode not in TRACE_MODES:
+            raise ValueError(
+                f"trace_mode must be one of {TRACE_MODES}, got {self.trace_mode!r}"
+            )
+        if self.trace_every < 1:
+            raise ValueError("trace_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -319,7 +354,10 @@ class CampaignResult:
     observability snapshot (see :mod:`repro.obs.metrics`): its
     ``counters``/``histograms`` sections are deterministic — the same
     for any ``jobs`` value and across kill/resume — while anything
-    wall-clock lives under its ``timing`` key.
+    wall-clock lives under its ``timing`` key.  ``traces`` maps trial
+    index -> propagation-trace row for the traced subset (see
+    :mod:`repro.obs.tracer`); trace rows obey the same determinism
+    contract as ``records``.
     """
 
     spec: CampaignSpec
@@ -329,6 +367,7 @@ class CampaignResult:
     metrics: dict = field(default_factory=empty_snapshot)
     skips: list[TrialSkip] = field(default_factory=list)
     stopped_at: int | None = None
+    traces: dict[int, dict] = field(default_factory=dict)
 
     # -- basic counts ----------------------------------------------------- #
     @property
@@ -427,6 +466,7 @@ class CampaignResult:
             metrics=merge_snapshots(self.metrics, other.metrics),
             skips=self.skips + other.skips,
             stopped_at=self.stopped_at if self.stopped_at is not None else other.stopped_at,
+            traces={**self.traces, **other.traces},
         )
 
 
@@ -540,6 +580,12 @@ class _CampaignTask:
                     self.detector = learn_detector(
                         self.network, learn_x, dtype=self.dtype, cushion=spec.sed_cushion
                     )
+        #: Layer index -> block for detector checkpoints; the tracer
+        #: derives the detector-firing layer from it (empty when no
+        #: symptom detector is configured).
+        self.detector_checkpoints: dict[int, int] = (
+            self.detector.checkpoints(self.network) if self.detector is not None else {}
+        )
         self.occupancy = None
         if spec.occupancy_weighted:
             from repro.accel.eyeriss import EYERISS_16NM
@@ -576,7 +622,12 @@ class _CampaignTask:
         _maybe_test_fault(trial)
         rng = child_rng(spec.seed, trial)
         golden = self.goldens[trial % len(self.goldens)]
-        record = spec.with_detection or spec.record_propagation
+        # Traced trials need the per-layer activations recorded even
+        # when detection/propagation tracking is off.  Recording never
+        # changes the arithmetic, so forcing it per-trial keeps outcomes
+        # bit-identical to an untraced run of the same spec.
+        traced = spec.trace_selected(trial)
+        record = spec.with_detection or spec.record_propagation or traced
         if spec.target == "datapath":
             fault = sample_datapath_fault(
                 self.network,
@@ -602,6 +653,7 @@ class _CampaignTask:
             "block": self.network.layers[fault.layer_index].block or 0,
             "bit": fault.bit,
             "record": record,
+            "traced": traced,
         }
         return fault, meta
 
@@ -706,6 +758,11 @@ class _SafeTrialTask:
             # the per-layer forward spans inside them are captured.
             enable_spans()
         self.metrics = MetricsRegistry()
+        #: Propagation-trace rows for trials in the traced subset; like
+        #: the metric deltas, they ship back with the chunk's results in
+        #: :meth:`collect_obs`, so a crashed chunk loses its traces and
+        #: its records together and retries never duplicate rows.
+        self.traces: list[dict] = []
         #: Trials propagated per forward_from_batch call; the parallel
         #: layer dispatches whole index slices to run_many when > 1.
         self.group_size = max(1, int(batch))
@@ -767,7 +824,25 @@ class _SafeTrialTask:
                 site=self.task.last_site,
             )
         record_trial_metrics(self.metrics, record)
+        self._emit_trace(trial, meta, injection, record)
         return record
+
+    def _emit_trace(self, trial: int, meta: dict, injection: InjectionResult,
+                    record: TrialRecord) -> None:
+        """Derive and stage the trial's propagation-trace row, if traced."""
+        if not meta.get("traced"):
+            return
+        self.traces.append(
+            build_trace(
+                trial=trial,
+                meta=meta,
+                injection=injection,
+                record=record,
+                network=self.task.network,
+                detector=self.task.detector,
+                detector_checkpoints=self.task.detector_checkpoints,
+            )
+        )
 
     def _quarantine(self, trial: int, exc: Exception, site: str | None) -> TrialError:
         return TrialError(
@@ -784,6 +859,7 @@ class _SafeTrialTask:
         except Exception as exc:
             return self._quarantine(trial, exc, meta["site"])
         record_trial_metrics(self.metrics, record)
+        self._emit_trace(trial, meta, injection, record)
         return record
 
     def _finish_serial(self, trial: int, prep, meta: dict):
@@ -849,7 +925,10 @@ class _SafeTrialTask:
     def _run_group(self, items: list, results: list) -> None:
         task = self.task
         resume_index = items[0][2].resume_index
-        record = items[0][3]["record"]
+        # Record when *any* trial in the group needs activations (trace
+        # sampling makes the flag per-trial); recording never changes
+        # the arithmetic, so batch-mates are unaffected.
+        record = any(meta["record"] for _, _, _, meta in items)
         try:
             with span("propagate_batch"):
                 batch = task.network.forward_from_batch(
@@ -875,14 +954,22 @@ class _SafeTrialTask:
                 value_before=prep.value_before,
                 value_after=prep.value_after,
                 resume_index=prep.resume_index,
-                faulty_activations=batch.activations[b] if record else [],
+                faulty_activations=batch.activations[b] if meta["record"] else [],
             )
             results[pos] = self._complete(trial, meta, injection)
 
     def collect_obs(self) -> dict:
-        """Delta snapshot of metrics plus span timings since last call."""
+        """Delta snapshot of metrics plus span timings since last call.
+
+        Trace rows staged since the previous collection ride along under
+        a ``"traces"`` key; the parent pops them into the trace sink
+        before merging the rest into its metrics registry.
+        """
         snap = self.metrics.snapshot(reset=True)
         snap["timing"] = merge_timing(snap["timing"], timing_snapshot(reset=True))
+        if self.traces:
+            snap["traces"] = self.traces
+            self.traces = []
         return snap
 
 
@@ -991,6 +1078,7 @@ def run_campaign(
     manifest: str | Path | None = None,
     run_log: str | Path | None = None,
     progress_every: float = 0.0,
+    trace_path: str | Path | None = None,
 ) -> CampaignResult:
     """Execute a campaign resiliently, optionally across a process pool.
 
@@ -1058,6 +1146,16 @@ def run_campaign(
             :class:`~repro.obs.progress.ProgressReporter` sink); 0
             disables periodic emission.  A final ``progress`` event is
             emitted either way when any trials ran.
+        trace_path: Propagation-trace JSONL path (only meaningful when
+            ``spec.trace_mode != "off"``).  When None and ``checkpoint``
+            is set, defaults to ``<checkpoint>.trace.jsonl`` next to it;
+            with neither, trace rows are collected in memory only
+            (``CampaignResult.traces``).  The file is byte-identical
+            across serial / parallel / batched / shared-mem / resumed
+            executions: rows are pure functions of the trial index, and
+            a resumed run re-executes any checkpointed trial whose trace
+            row had not reached disk (re-deriving identical bytes)
+            instead of leaving a hole.
     """
     recorder = events if events is not None else EventRecorder()
     registry = metrics if metrics is not None else MetricsRegistry()
@@ -1066,6 +1164,20 @@ def run_campaign(
     writer = None
     done: dict[int, TrialRecord | TrialError | TrialSkip] = {}
     resumed = 0
+    resumed_skips = 0
+    tracing = spec.trace_mode != "off"
+    trace_writer = None
+    trace_rows: dict[int, dict] = {}
+    if tracing:
+        if trace_path is None and checkpoint is not None:
+            trace_path = default_trace_path(checkpoint)
+        if trace_path is not None:
+            # Imported lazily: checkpoint.py depends on this module's types.
+            from repro.core.checkpoint import campaign_fingerprint
+
+            trace_writer = TraceWriter(
+                trace_path, campaign_fingerprint(spec), spec.trace_mode, spec.trace_every
+            )
     if checkpoint is not None:
         # Imported lazily: checkpoint.py depends on this module's types.
         from repro.core.checkpoint import CheckpointWriter, load_checkpoint
@@ -1074,15 +1186,39 @@ def run_campaign(
         if resume:
             state = load_checkpoint(checkpoint, spec=spec)
             if state is not None:
-                done.update(state.records)
+                retrace: set[int] = set()
+                if tracing:
+                    if trace_writer is not None:
+                        prior_header, prior_rows = load_trace(trace_writer.path)
+                        if (
+                            prior_header is not None
+                            and prior_header.get("fingerprint") == trace_writer.fingerprint
+                        ):
+                            trace_writer.preload(prior_rows)
+                            trace_rows.update(prior_rows)
+                    # Checkpointed trials whose trace row never reached
+                    # disk re-run purely for their trace: outcomes are
+                    # pure functions of the trial index, so the re-run
+                    # re-derives identical records and identical trace
+                    # bytes (already-traced trials are skipped as usual).
+                    retrace = {
+                        i for i in state.records
+                        if spec.trace_selected(i) and i not in trace_rows
+                    }
+                done.update(
+                    {i: r for i, r in state.records.items() if i not in retrace}
+                )
                 done.update(state.errors)
                 done.update(state.skips)
                 writer.preload(state)
-                resumed = state.n_completed
+                resumed = state.n_completed - len(retrace)
+                resumed_skips = len(state.skips)
                 # Replay completed trials into the registry so resumed
-                # totals match an uninterrupted run's exactly.
-                for prior in state.records.values():
-                    record_trial_metrics(registry, prior)
+                # totals match an uninterrupted run's exactly (re-traced
+                # trials are excluded: their live re-run counts them).
+                for index, prior in state.records.items():
+                    if index not in retrace:
+                        record_trial_metrics(registry, prior)
                 for prior_skip in state.skips.values():
                     record_skip_metrics(registry, spec, prior_skip)
                 recorder.emit("resume", completed=resumed, path=str(checkpoint))
@@ -1123,9 +1259,15 @@ def run_campaign(
                 "seed": spec.seed,
                 "n_trials": spec.n_trials,
                 "jobs": jobs,
+                "batch": batch,
                 "resumed": resumed > 0,
                 "resumed_trials": resumed,
                 "shared_golden": use_shm,
+                "trace": {
+                    "mode": spec.trace_mode,
+                    "every": spec.trace_every,
+                    "path": str(trace_writer.path) if trace_writer is not None else None,
+                },
                 "spec": to_jsonable(spec),
             },
         )
@@ -1134,16 +1276,23 @@ def run_campaign(
 
     error_budget = max_error_frac * spec.n_trials
     n_errors = sum(1 for v in done.values() if isinstance(v, TrialError))
+    n_skips = 0
     since_flush = 0
     start = time.perf_counter()
     last_progress = start
 
     def emit_progress(final: bool = False) -> None:
+        # Early-stopped (skipped) trials count toward completion — they
+        # are resolved indices — but are also reported separately so the
+        # progress reporter can show a ``skipped`` column and compute
+        # trials/s over trials that actually propagated.
         recorder.emit(
             "progress",
             completed=len(done),
             total=spec.n_trials,
             completed_here=len(done) - resumed,
+            skipped=resumed_skips + n_skips,
+            skipped_here=n_skips,
             quarantined=n_errors,
             elapsed_s=round(time.perf_counter() - start, 3),
             final=final,
@@ -1168,8 +1317,17 @@ def run_campaign(
         # chunk loop) fold into the same registry as worker timings.
         registry.merge_snapshot({"timing": timing_snapshot(reset=True)})
 
+    def absorb_obs(snapshot: dict) -> None:
+        # Trace rows ride in the obs payload (same message as the
+        # chunk's results); strip them before the metrics merge.
+        for row in snapshot.pop("traces", None) or ():
+            trace_rows[int(row["index"])] = row
+            if trace_writer is not None:
+                trace_writer.add_row(row)
+        registry.merge_snapshot(snapshot)
+
     def absorb(index: int, value: object) -> None:
-        nonlocal n_errors, since_flush, last_progress
+        nonlocal n_errors, n_skips, since_flush, last_progress
         if isinstance(value, TrialFailure):
             # The supervised pool already emitted the quarantine event.
             value = TrialError(
@@ -1182,6 +1340,8 @@ def run_campaign(
         done[index] = value
         if isinstance(value, TrialError):
             n_errors += 1
+        elif isinstance(value, TrialSkip):
+            n_skips += 1
         if writer is not None:
             if isinstance(value, TrialError):
                 writer.add_error(index, value)
@@ -1191,6 +1351,13 @@ def run_campaign(
                 writer.add_record(index, value)
             since_flush += 1
             if since_flush >= checkpoint_every:
+                # Trace rows received so far go to disk first; any trial
+                # the checkpoint holds without a trace row (a kill can
+                # always land between result and obs arrival) is re-run
+                # on resume purely for its trace, so no flush ordering
+                # can leave a permanent hole.
+                if trace_writer is not None:
+                    trace_writer.flush()
                 with span("checkpoint_flush"):
                     writer.flush()
                 since_flush = 0
@@ -1201,6 +1368,8 @@ def run_campaign(
                 last_progress = now
                 emit_progress()
         if n_errors > error_budget:
+            if trace_writer is not None:
+                trace_writer.flush()
             if writer is not None:
                 writer.flush()
                 since_flush = 0
@@ -1247,7 +1416,7 @@ def run_campaign(
                     backoff_cap=backoff_cap,
                     on_event=recorder.emit,
                     on_result=absorb,
-                    on_obs=registry.merge_snapshot,
+                    on_obs=absorb_obs,
                 )
             elif planner is not None:
                 # Fully-resumed early-stopping run: no trials to execute,
@@ -1261,6 +1430,10 @@ def run_campaign(
 
                 release_segment(shm_handle)
                 recorder.emit("shm_unlink", segment=descriptor.segment)
+            if trace_writer is not None:
+                # The last obs payload can arrive after the last
+                # cadence flush; publish whatever rows are staged.
+                trace_writer.flush()
             if writer is not None and since_flush:
                 with span("checkpoint_flush"):
                     writer.flush()
@@ -1288,6 +1461,7 @@ def run_campaign(
         spec=spec, records=records, errors=errors, stats=stats,
         metrics=registry.snapshot(), skips=skips,
         stopped_at=planner.stopped_at if planner is not None else None,
+        traces={index: trace_rows[index] for index in sorted(trace_rows)},
     )
     if observer is not None:
         summary = {
@@ -1303,6 +1477,14 @@ def run_campaign(
             summary["early_stop"] = {
                 "n_skips": len(skips),
                 "stopped_at": result.stopped_at,
+            }
+        if tracing:
+            # Deterministic: the traced subset is selected by trial
+            # index, so the row count agrees across execution shapes.
+            summary["trace"] = {
+                "mode": spec.trace_mode,
+                "every": spec.trace_every,
+                "rows": len(result.traces),
             }
         observer.finish(
             status="completed",

@@ -45,6 +45,8 @@ def build_spec(args: argparse.Namespace) -> CampaignSpec:
         stop_stratify=getattr(args, "stop_stratify", "overall"),
         stop_check_every=getattr(args, "stop_check_every", 64),
         stop_sdc_class=getattr(args, "stop_sdc_class", "sdc1"),
+        trace_mode=getattr(args, "trace", "off"),
+        trace_every=getattr(args, "trace_every", 16),
     )
 
 
@@ -119,6 +121,16 @@ def main(argv: list[str] | None = None) -> int:
     obs.add_argument("--spans", action="store_true",
                      help="collect hierarchical timing spans (per-layer forward, "
                           "injection, checkpoint flushes) into the manifest")
+    obs.add_argument("--trace", choices=("off", "sample", "all"), default="off",
+                     help="record per-layer propagation traces for a subset of "
+                          "trials selected by index (part of the campaign "
+                          "identity; byte-identical across jobs/batch/resume)")
+    obs.add_argument("--trace-every", type=int, default=16, metavar="N",
+                     help="sampling stride for --trace sample (trace trials "
+                          "whose index is divisible by N)")
+    obs.add_argument("--trace-file", default=None, metavar="PATH",
+                     help="trace JSONL path (defaults to "
+                          "<checkpoint>.trace.jsonl when --checkpoint is set)")
     args = parser.parse_args(argv)
 
     try:
@@ -151,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
             manifest=args.manifest,
             run_log=args.run_log,
             progress_every=args.progress,
+            trace_path=args.trace_file,
         )
     except CheckpointMismatchError as exc:
         print(f"checkpoint mismatch: {exc}", file=sys.stderr)
@@ -192,6 +205,15 @@ def main(argv: list[str] | None = None) -> int:
     for err in result.errors:
         print(f"  quarantined trial {err.index}: {err.reason}"
               + (f" ({err.exc_type})" if err.exc_type else ""))
+    if spec.trace_mode != "off":
+        from repro.core.campaign import default_trace_path
+
+        trace_target = args.trace_file or (
+            default_trace_path(args.checkpoint) if args.checkpoint else None
+        )
+        where = f" ({trace_target})" if trace_target else " (in-memory only)"
+        print(f"propagation traces: {len(result.traces)} trials{where}; "
+              "inspect with 'repro-obs trace'")
     if args.out:
         path = save_json(campaign_summary(result), args.out)
         print(f"summary written to {path}")

@@ -105,6 +105,14 @@ def campaign_summary(result: CampaignResult) -> dict:
     for err in result.errors:
         by_reason[err.reason] = by_reason.get(err.reason, 0) + 1
     summary["errors"] = {"n": len(result.errors), "by_reason": by_reason}
+    if result.spec.trace_mode != "off":
+        # Deterministic: the traced subset is a pure function of the
+        # spec and trial indices, so it participates in parity diffs.
+        summary["trace"] = {
+            "mode": result.spec.trace_mode,
+            "every": result.spec.trace_every,
+            "rows": len(result.traces),
+        }
     if result.spec.target_halfwidth is not None:
         # Deterministic (skip decisions are a pure function of the spec
         # and the trial prefix), so it participates in parity diffs.

@@ -17,6 +17,7 @@ from repro.experiments import (
     ext_dmr_baseline,
     ext_lrn_ablation,
     ext_mapping,
+    ext_propagation,
     ext_proteus,
     fig3_datatype_sdc,
     fig4_bit_position,
@@ -62,6 +63,7 @@ EXPERIMENTS = {
     "mapping": ext_mapping,
     "lrn": ext_lrn_ablation,
     "depth": ext_depth,
+    "propagation": ext_propagation,
 }
 
 

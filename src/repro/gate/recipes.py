@@ -28,6 +28,11 @@ Recipe types
   shared-memory golden path on.  Optional ``target_halfwidth`` /
   ``stop_stratify`` / ``stop_check_every`` params put the early-stopping
   rule on the spec so its skip decisions are part of the parity.
+  Optional ``trace_mode`` / ``trace_every`` params turn on the
+  propagation flight recorder: every variant then writes its own trace
+  file and must match the serial one ``read_bytes``-for-byte; the
+  ``resume`` variant restarts from a half-truncated trace and has to
+  re-derive the missing rows identically.
 - ``lint`` — in-process ``repro-lint`` sweep; any finding is a failure.
 - ``obs_diff`` — compare two existing run manifests / run logs.
 - ``command`` — arbitrary argv; exit 0 is the invariant.
@@ -238,41 +243,74 @@ def _recipe_campaign_parity(params: dict, root: Path, timeout: float) -> dict:
         target_halfwidth=float(halfwidth) if halfwidth is not None else None,
         stop_stratify=str(params.get("stop_stratify", "overall")),
         stop_check_every=int(params.get("stop_check_every", 64)),
+        trace_mode=str(params.get("trace_mode", "off")),
+        trace_every=int(params.get("trace_every", 16)),
     )
     variants = params.get("variants", ["jobs2", "batch16", "resume"])
+    tracing = spec.trace_mode != "off"
 
-    baseline = run_campaign(spec)
-    base_summary = _comparable_summary(baseline)
-    per_variant: dict[str, dict] = {}
-    for variant in variants:
-        if variant.startswith("shm"):
-            # Shared-memory golden state, forced on even for jobs=1 so
-            # the parity holds on single-core CI runners too.
-            result = run_campaign(spec, jobs=int(variant[3:] or 2), shared_golden=True)
-            diverged = _summary_divergences(base_summary, _comparable_summary(result))
-        elif variant.startswith("jobs"):
-            result = run_campaign(spec, jobs=int(variant[4:] or 2))
-            diverged = _summary_divergences(base_summary, _comparable_summary(result))
-        elif variant.startswith("batch"):
-            result = run_campaign(spec, batch=int(variant[5:] or 16))
-            diverged = _summary_divergences(base_summary, _comparable_summary(result))
-        elif variant == "resume":
-            with tempfile.TemporaryDirectory(prefix="repro-gate-") as tmp:
+    with tempfile.TemporaryDirectory(prefix="repro-gate-") as tmp:
+        tmpdir = Path(tmp)
+
+        def _trace_kwargs(label: str) -> dict:
+            # Each run writes its own trace file; the parity claim is
+            # that every one of them is byte-identical to serial's.
+            return {"trace_path": tmpdir / f"{label}.trace.jsonl"} if tracing else {}
+
+        def _trace_divergence(label: str) -> list[str]:
+            if not tracing:
+                return []
+            base = (tmpdir / "serial.trace.jsonl").read_bytes()
+            other = (tmpdir / f"{label}.trace.jsonl").read_bytes()
+            return [] if base == other else [f"trace:{label} bytes differ from serial"]
+
+        baseline = run_campaign(spec, **_trace_kwargs("serial"))
+        base_summary = _comparable_summary(baseline)
+        per_variant: dict[str, dict] = {}
+        for variant in variants:
+            if variant.startswith("shm"):
+                # Shared-memory golden state, forced on even for jobs=1 so
+                # the parity holds on single-core CI runners too.
+                result = run_campaign(spec, jobs=int(variant[3:] or 2),
+                                      shared_golden=True, **_trace_kwargs(variant))
+                diverged = _summary_divergences(base_summary, _comparable_summary(result))
+            elif variant.startswith("jobs"):
+                result = run_campaign(spec, jobs=int(variant[4:] or 2),
+                                      **_trace_kwargs(variant))
+                diverged = _summary_divergences(base_summary, _comparable_summary(result))
+            elif variant.startswith("batch"):
+                result = run_campaign(spec, batch=int(variant[5:] or 16),
+                                      **_trace_kwargs(variant))
+                diverged = _summary_divergences(base_summary, _comparable_summary(result))
+            elif variant == "resume":
                 # A kill at ~50%: the reference run's checkpoint truncated
                 # to its first half of entry lines (header preserved), then
                 # a resumed run on top of it.  Truncating the real file —
                 # rather than re-writing records by position — keeps trial
                 # indices and early-stop skip entries faithful.
-                ref_ck = Path(tmp) / "ref.jsonl"
-                run_campaign(spec, checkpoint=ref_ck)
-                half_ck = Path(tmp) / "half.jsonl"
+                ref_ck = tmpdir / "ref.jsonl"
+                run_campaign(spec, checkpoint=ref_ck, **_trace_kwargs("ref"))
+                half_ck = tmpdir / "half.jsonl"
                 lines = ref_ck.read_text(encoding="utf-8").splitlines()
                 header, entries = lines[0], lines[1:]
                 half_ck.write_text(
                     "\n".join([header] + entries[: len(entries) // 2]) + "\n",
                     encoding="utf-8",
                 )
-                result = run_campaign(spec, checkpoint=half_ck, resume=True)
+                if tracing:
+                    # The kill also tears the trace back: the resumed run
+                    # gets only the first half of the rows and must
+                    # re-derive the rest byte-for-byte.
+                    tlines = (tmpdir / "ref.trace.jsonl").read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                    (tmpdir / "resume.trace.jsonl").write_text(
+                        "\n".join([tlines[0]] + tlines[1: 1 + (len(tlines) - 1) // 2])
+                        + "\n",
+                        encoding="utf-8",
+                    )
+                result = run_campaign(spec, checkpoint=half_ck, resume=True,
+                                      **_trace_kwargs("resume"))
                 diverged = _summary_divergences(base_summary, _comparable_summary(result))
                 # The run manifests must agree on every deterministic
                 # fact too — the same check `repro-obs diff` enforces.
@@ -282,10 +320,11 @@ def _recipe_campaign_parity(params: dict, root: Path, timeout: float) -> dict:
                     f"manifest:{line}"
                     for line in compare_runs(load_run(manifest_a), load_run(manifest_b))
                 ]
-        else:
-            per_variant[variant] = {"identical": False, "diverged": ["unknown variant"]}
-            continue
-        per_variant[variant] = {"identical": not diverged, "diverged": diverged[:20]}
+            else:
+                per_variant[variant] = {"identical": False, "diverged": ["unknown variant"]}
+                continue
+            diverged += _trace_divergence(variant)
+            per_variant[variant] = {"identical": not diverged, "diverged": diverged[:20]}
 
     ok = all(v["identical"] for v in per_variant.values())
     bad = sorted(v for v, d in per_variant.items() if not d["identical"])

@@ -1,6 +1,7 @@
-"""``repro-obs``: inspect campaign run manifests and run logs.
+"""``repro-obs``: inspect campaign run manifests, run logs and traces.
 
-Three subcommands over the artifacts :mod:`repro.obs.manifest` writes:
+Four subcommands over the artifacts :mod:`repro.obs.manifest` and
+:mod:`repro.obs.tracer` write:
 
 - ``summarize <run>`` — render a run's manifest (identity, timing,
   metric counters, span time split, event tallies) as tables; accepts a
@@ -11,6 +12,13 @@ Three subcommands over the artifacts :mod:`repro.obs.manifest` writes:
   verdict: 0 when the runs agree on every deterministic fact, 1 when
   they diverge — so CI jobs and ``repro-gate`` recipes can consume the
   command as a pass/fail check instead of parsing its tables.
+  Execution knobs (jobs, batch, shared memory, trace path) are *flagged*
+  when they differ but never count as divergence.
+- ``trace <run|tracefile>`` — render a campaign's propagation traces:
+  cross-trial aggregation by default (depth histogram, per-layer
+  kill/survival matrix, deviation-vs-depth), or one trial's layer-by-
+  layer narrative with ``--trial N``.  Accepts the ``.trace.jsonl``
+  itself, or a manifest/runlog/checkpoint it can be resolved from.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 from repro.obs.manifest import load_run
 from repro.utils.tables import format_table
@@ -28,6 +37,8 @@ __all__ = [
     "render_diff",
     "render_summary",
     "render_tail",
+    "render_trace",
+    "render_trace_trial",
     "run_identity",
 ]
 
@@ -77,9 +88,12 @@ def _identity_rows(facts: dict) -> list[list[str]]:
     meta, env, timing = facts["meta"], facts["env"], facts["timing"]
     rows = []
     for key in ("fingerprint", "network", "dtype", "target", "n_trials",
-                "seed", "jobs", "resumed", "resumed_trials", "experiment"):
+                "seed", "jobs", "batch", "resumed", "resumed_trials", "experiment"):
         if key in meta and meta[key] is not None:
             rows.append([key, str(meta[key])])
+    trace = meta.get("trace") or {}
+    if trace.get("mode") and trace["mode"] != "off":
+        rows.append(["trace", f"{trace['mode']} (every={trace.get('every')})"])
     rows.append(["status", facts["status"]])
     if timing.get("started_at"):
         rows.append(["started", str(timing["started_at"])])
@@ -185,7 +199,11 @@ def render_tail(run: dict, n: int = 20, kind: str | None = None) -> str:
 
 #: ``run`` meta keys that describe *how* a run executed, not *what* it
 #: computed: two byte-identical campaigns may legitimately differ here.
-_EXECUTION_META = ("jobs", "resumed", "resumed_trials", "shared_golden")
+#: ``trace`` is the *effective* trace config dict — its mode/stride are
+#: identity (they live in the spec and the fingerprint), but the dict
+#: also records the trace file path, which differs between equivalent
+#: runs, so the whole meta entry is an execution knob for diffing.
+_EXECUTION_META = ("jobs", "batch", "resumed", "resumed_trials", "shared_golden", "trace")
 
 
 def run_identity(run: dict) -> dict:
@@ -284,6 +302,161 @@ def render_diff(run_a: dict, run_b: dict) -> str:
         blocks.append(format_table(
             ["span", "a total s", "b total s", "delta"], span_rows,
             title="per-phase time split"))
+    knobs_a = {k: (run_a.get("manifest") or {}).get("run", {}).get(k) for k in _EXECUTION_META}
+    knobs_b = {k: (run_b.get("manifest") or {}).get("run", {}).get(k) for k in _EXECUTION_META}
+    knob_rows = [
+        [key, str(knobs_a[key]), str(knobs_b[key])]
+        for key in _EXECUTION_META
+        if knobs_a[key] != knobs_b[key]
+    ]
+    if knob_rows:
+        blocks.append(format_table(
+            ["knob", run_a["path"], run_b["path"]], knob_rows,
+            title="execution knobs differ (informational, not fact divergence)"))
+    return "\n\n".join(blocks)
+
+
+# -- propagation traces -------------------------------------------------- #
+
+def _load_trace_rows(path: str) -> tuple[dict, dict[int, dict]]:
+    """Resolve ``path`` to a propagation trace: the file itself, or a
+    manifest/runlog/checkpoint it can be derived from."""
+    from repro.obs.tracer import default_trace_path, load_trace
+
+    target = Path(path)
+    if not target.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    header, rows = load_trace(target)
+    if header is not None:
+        return header, rows
+    sibling = default_trace_path(target)
+    if sibling.exists():
+        header, rows = load_trace(sibling)
+        if header is not None:
+            return header, rows
+    run = load_run(path)
+    meta = (run.get("manifest") or {}).get("run", {}) or (run.get("begin") or {})
+    recorded = (meta.get("trace") or {}).get("path")
+    if recorded:
+        header, rows = load_trace(recorded)
+        if header is not None:
+            return header, rows
+        raise FileNotFoundError(
+            f"trace file recorded in manifest does not exist: {recorded}")
+    raise FileNotFoundError(
+        f"no propagation trace found for {path} "
+        "(was the campaign run with trace_mode off?)")
+
+
+def _fmt_dev(value) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.4g}"
+    return str(value)  # "nan"/"inf" survive serialization as strings
+
+
+def _outcome_label(row: dict) -> str:
+    outcome = row.get("outcome") or {}
+    flags = [cls for cls in ("sdc1", "sdc5", "sdc10", "sdc20") if outcome.get(cls)]
+    if flags:
+        return ",".join(flags)
+    return "masked" if outcome.get("masked") else "benign"
+
+
+def render_trace_trial(header: dict, row: dict) -> str:
+    """One traced trial's layer-by-layer propagation narrative."""
+    facts = [
+        ["trial", str(row.get("index"))],
+        ["fingerprint", str(header.get("fingerprint", "?"))],
+        ["site / block / bit",
+         f"{row.get('site')} / {row.get('block')} / {row.get('bit')}"],
+        ["resume layer", str(row.get("resume_layer"))],
+        ["value", f"{_fmt_dev(row.get('value_before'))} -> {_fmt_dev(row.get('value_after'))}"],
+        ["outcome", _outcome_label(row)],
+        ["depth", str(row.get("depth"))],
+    ]
+    if row.get("detected") is not None:
+        facts.append(["detected", str(row["detected"])])
+    if row.get("detector_layer") is not None:
+        facts.append(["detector fired at layer", str(row["detector_layer"])])
+    blocks = [format_table(["key", "value"], facts, title="traced trial")]
+    layers = row.get("layers") or []
+    if layers:
+        layer_rows = []
+        for entry in layers:
+            span_txt = "-"
+            if entry.get("dirty_rows"):
+                lo, hi = entry["dirty_rows"]
+                span_txt = f"[{lo}, {hi})"
+            layer_rows.append([
+                str(entry["layer"]), entry["name"], entry["kind"],
+                str(entry["corrupted"]), span_txt,
+                _fmt_dev(entry["max_abs_dev"]), _fmt_dev(entry["mean_abs_dev"]),
+                _fmt_dev(entry["max_rel_dev"]),
+            ])
+        blocks.append(format_table(
+            ["layer", "name", "kind", "corrupted", "rows",
+             "max|dev|", "mean|dev|", "max rel"],
+            layer_rows, title="propagation"))
+    if row.get("masked_at_injection"):
+        tail = "corruption erased at the injection site (quantized back onto golden)"
+    elif row.get("masking"):
+        masking = row["masking"]
+        tail = (f"corruption died at layer {masking['layer']} "
+                f"({masking['name']}: {masking['kind']}) "
+                f"after surviving {row.get('depth')} layer(s)")
+    else:
+        tail = f"corruption survived all {row.get('depth')} traced layer(s) to the output"
+    blocks.append(tail)
+    return "\n\n".join(blocks)
+
+
+def render_trace(header: dict, rows: dict[int, dict]) -> str:
+    """Cross-trial aggregation tables for a propagation trace."""
+    from repro.obs.tracer import (
+        trace_depth_histogram,
+        trace_deviation_by_depth,
+        trace_layer_matrix,
+    )
+
+    trace_cfg = header.get("trace", {}) or {}
+    n = len(rows)
+    masked_inj = sum(1 for r in rows.values() if r.get("masked_at_injection"))
+    reached = sum(1 for r in rows.values() if r.get("reached_output"))
+    fired = sum(1 for r in rows.values() if r.get("detector_layer") is not None)
+    overview = [
+        ["fingerprint", str(header.get("fingerprint", "?"))],
+        ["mode", f"{trace_cfg.get('mode')} (every={trace_cfg.get('every')})"],
+        ["traced trials", str(n)],
+        ["masked at injection", str(masked_inj)],
+        ["reached output", str(reached)],
+        ["detector fired", str(fired)],
+    ]
+    blocks = [format_table(["key", "value"], overview, title="propagation trace")]
+    if not n:
+        blocks.append("no trace rows (campaign still in flight, or nothing sampled)")
+        return "\n\n".join(blocks)
+    hist = trace_depth_histogram(rows)
+    blocks.append(format_table(
+        ["depth", "trials", "share"],
+        [[str(d), str(c), f"{100.0 * c / n:.1f}%"] for d, c in hist.items()],
+        title="propagation depth (layers survived)"))
+    matrix = trace_layer_matrix(rows)
+    if matrix:
+        blocks.append(format_table(
+            ["layer", "name", "kind", "entered", "killed", "survived", "kill %"],
+            [[str(li), cell["name"], cell["kind"], str(cell["entered"]),
+              str(cell["killed"]), str(cell["survived"]),
+              f"{100.0 * cell['killed'] / cell['entered']:.1f}%"]
+             for li, cell in matrix.items()],
+            title="per-layer kill/survival"))
+    table = trace_deviation_by_depth(rows)
+    if table:
+        blocks.append(format_table(
+            ["step", "live traces", "max|dev|", "mean max|dev|"],
+            [[str(step), str(cell["live"]), _fmt_dev(cell["max_abs_dev"]),
+              _fmt_dev(cell["mean_abs_dev"])]
+             for step, cell in table.items()],
+            title="deviation vs depth"))
     return "\n\n".join(blocks)
 
 
@@ -303,6 +476,13 @@ def main(argv: list[str] | None = None) -> int:
         "diff", help="compare two runs (exit 1 when deterministic facts diverge)")
     p_diff.add_argument("run_a")
     p_diff.add_argument("run_b")
+    p_trace = sub.add_parser(
+        "trace", help="render a campaign's propagation traces")
+    p_trace.add_argument(
+        "run", help="a .trace.jsonl, or a manifest/runlog/checkpoint to resolve one from")
+    p_trace.add_argument(
+        "--trial", type=int, default=None,
+        help="show one trial's layer-by-layer narrative instead of aggregates")
     args = parser.parse_args(argv)
 
     try:
@@ -310,6 +490,17 @@ def main(argv: list[str] | None = None) -> int:
             print(render_summary(load_run(args.run)))
         elif args.command == "tail":
             print(render_tail(load_run(args.run), n=args.n, kind=args.kind))
+        elif args.command == "trace":
+            header, rows = _load_trace_rows(args.run)
+            if args.trial is not None:
+                row = rows.get(args.trial)
+                if row is None:
+                    print(f"repro-obs: trial {args.trial} is not in the traced subset "
+                          f"({len(rows)} trials traced)", file=sys.stderr)
+                    return 1
+                print(render_trace_trial(header, row))
+            else:
+                print(render_trace(header, rows))
         else:
             run_a, run_b = load_run(args.run_a), load_run(args.run_b)
             print(render_diff(run_a, run_b))

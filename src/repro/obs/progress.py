@@ -78,17 +78,27 @@ class ProgressReporter:
         completed = int(detail.get("completed", 0))
         total = int(detail.get("total", 0)) or None
         done_here = int(detail.get("completed_here", completed))
-        rate = done_here / elapsed if elapsed > 0 else 0.0
+        skipped = int(detail.get("skipped", 0))
+        skipped_here = int(detail.get("skipped_here", skipped))
+        # Early-stopped skips are resolved indices: they count toward
+        # completion (and hence the ETA's notion of remaining work) but
+        # not toward trials/s, which reports trials that actually
+        # propagated — otherwise a run skipping whole closed strata
+        # would claim an inflated injection throughput.
+        executed_rate = max(0, done_here - skipped_here) / elapsed if elapsed > 0 else 0.0
+        completion_rate = done_here / elapsed if elapsed > 0 else 0.0
         parts = []
         if total:
             parts.append(f"{completed}/{total} ({100.0 * completed / total:.1f}%)")
         else:
             parts.append(str(completed))
-        parts.append(f"{rate:.1f} trials/s")
-        if total and rate > 0:
-            parts.append(f"eta {max(0.0, (total - completed) / rate):.0f}s")
+        parts.append(f"{executed_rate:.1f} trials/s")
+        if total and completion_rate > 0:
+            parts.append(f"eta {max(0.0, (total - completed) / completion_rate):.0f}s")
         retries = self._counts.get("retry", 0)
         quarantined = self._counts.get("quarantine", 0)
+        if skipped:
+            parts.append(f"skipped {skipped}")
         parts.append(f"retries {retries} quarantined {quarantined}")
         rss = rss_mb()
         if rss is not None:

@@ -74,7 +74,8 @@ class TestRegistry:
     def test_ids_are_stable_and_unique(self):
         rule_ids = [rule.id for rule in all_rules()]
         assert len(rule_ids) == len(set(rule_ids))
-        assert {"RP101", "RP102", "RP103", "RP104", "RP105", "RP106", "RP201", "RP202", "RP203",
+        assert {"RP101", "RP102", "RP103", "RP104", "RP105", "RP106", "RP108",
+                "RP201", "RP202", "RP203",
                 "RP301", "RP302", "RP401", "RP402", "RP501", "RP502", "RP503",
                 "RP601", "RP611", "RP612", "RP621", "RP622"} <= set(rule_ids)
 
@@ -83,7 +84,9 @@ class TestRegistry:
             get_rule("RP999")
 
     def test_expand_family_selector(self):
-        assert expand_ids(["RP1"]) == {"RP101", "RP102", "RP103", "RP104", "RP105", "RP106"}
+        assert expand_ids(["RP1"]) == {
+            "RP101", "RP102", "RP103", "RP104", "RP105", "RP106", "RP108",
+        }
         assert expand_ids(["RP3xx"]) == {"RP301", "RP302"}
         with pytest.raises(KeyError):
             expand_ids(["RP9"])
@@ -276,6 +279,117 @@ class TestObservabilityRules:
     def test_repo_source_tree_is_rp105_clean(self):
         src = Path(__file__).resolve().parents[1] / "src"
         findings = [f for f in lint_paths([src]) if f.rule_id == "RP105"]
+        assert findings == []
+
+    def test_rp108_append_open_in_campaign_code(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def persist(path, row):
+            with open(path, "a") as fh:
+                fh.write(row)
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP108" in ids(findings)
+
+    def test_rp108_path_open_append_and_mode_kwarg(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def persist(path, row):
+            with path.open("ab") as fh:
+                fh.write(row)
+            with open(path, mode="a") as fh:
+                fh.write(row)
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/experiments/mod.py")
+        assert len(by_rule(findings, "RP108")) == 2
+
+    def test_rp108_json_dump_in_campaign_code(self, tmp_path):
+        code = """
+        __all__ = []
+        import json
+
+        def persist(path, payload):
+            with open(path, "w") as fh:
+                json.dump(payload, fh)
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP108" in ids(findings)
+
+    def test_rp108_read_and_write_modes_clean(self, tmp_path):
+        code = """
+        __all__ = []
+        import json
+
+        def load(path):
+            with open(path, "r") as fh:
+                return json.load(fh)
+
+        def save(path, payload):
+            path.write_text(json.dumps(payload))
+            path.open()  # default read mode
+            open(path, "w").close()
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP108" not in ids(findings)
+
+    def test_rp108_mode_like_string_required(self, tmp_path):
+        # An arbitrary first argument containing "a" is not a mode string.
+        code = """
+        __all__ = []
+
+        def show(browser):
+            browser.open("page.html")
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP108" not in ids(findings)
+
+    def test_rp108_outside_campaign_scope_clean(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def persist(path, row):
+            with open(path, "a") as fh:
+                fh.write(row)
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/zoo/mod.py")
+        assert "RP108" not in ids(findings)
+
+    def test_rp108_writer_modules_exempt(self, tmp_path):
+        from repro.analysis.config import LintConfig
+
+        code = """
+        __all__ = []
+        import json
+
+        def snapshot(path, payload):
+            with open(path, "a") as fh:
+                json.dump(payload, fh)
+        """
+        cfg = LintConfig(
+            campaign_paths=("repro/core",),
+            obs_writer_exempt_paths=("repro/core/checkpoint.py",),
+        )
+        findings = lint_snippet(
+            tmp_path, code, relpath="repro/core/checkpoint.py", config=cfg
+        )
+        assert "RP108" not in ids(findings)
+
+    def test_rp108_noqa_exemption(self, tmp_path):
+        code = """
+        __all__ = []
+
+        def persist(path, row):
+            fh = open(path, "a")  # repro: noqa[RP108]
+            fh.write(row)
+        """
+        findings = lint_snippet(tmp_path, code, relpath="repro/core/mod.py")
+        assert "RP108" not in ids(findings)
+
+    def test_repo_source_tree_is_rp108_clean(self):
+        src = Path(__file__).resolve().parents[1] / "src"
+        findings = [f for f in lint_paths([src]) if f.rule_id == "RP108"]
         assert findings == []
 
 

@@ -146,6 +146,7 @@ class TestRunner:
             "table1", "table2", "table3", "table4", "table5", "table6",
             "table7", "table8", "fig3", "fig4", "fig5", "fig6", "fig7",
             "fig8", "fig9", "e2e", "proteus", "dmr", "mapping", "lrn", "depth",
+            "propagation",
         }
 
     def test_unknown_experiment(self):

@@ -422,6 +422,46 @@ class TestProgressReporter:
         if rss is not None:
             assert rss > 0
 
+    def test_skipped_column_rendered(self):
+        out = io.StringIO()
+        reporter = ProgressReporter(stream=out, min_interval=0.0)
+        reporter(self._event("progress", completed=20, total=40,
+                             completed_here=20, skipped=4, skipped_here=4,
+                             final=True))
+        text = out.getvalue()
+        assert "skipped 4" in text
+        assert "eta" in text
+
+    def test_skips_count_toward_eta_not_throughput(self):
+        # 20 indices resolved in 10s, 4 of them early-stop skips: the
+        # ETA must use the completion rate (2/s over all resolved
+        # indices -> 10s left), while trials/s reports only the 16 that
+        # actually propagated.
+        out = io.StringIO()
+        reporter = ProgressReporter(stream=out, min_interval=0.0)
+        reporter._t0 -= 10.0  # pretend 10s elapsed
+        reporter(self._event("progress", completed=20, total=40,
+                             completed_here=20, skipped=4, skipped_here=4,
+                             final=True))
+        text = out.getvalue()
+        assert "1.6 trials/s" in text
+        assert "eta 10s" in text
+
+    def test_campaign_emits_skip_counts(self):
+        spec = CampaignSpec(
+            network="ConvNet", dtype="FLOAT16", n_trials=200, seed=3,
+            target_halfwidth=0.18, stop_stratify="site", stop_check_every=16,
+        )
+        recorder = EventRecorder()
+        result = run_campaign(spec, events=recorder, progress_every=0.0001)
+        assert result.skips, "stopping spec produced no skips; weaken the target"
+        final = [e for e in recorder.events
+                 if e.kind == "progress" and e.detail.get("final")][-1]
+        assert final.detail["skipped"] == len(result.skips)
+        # The run stops at the decision boundary: completion covers every
+        # resolved index (propagated or skipped), not the nominal budget.
+        assert final.detail["completed"] == len(result.records) + len(result.skips)
+
 
 class TestObsCli:
     @pytest.fixture()
@@ -507,3 +547,49 @@ class TestObsCli:
         assert obs_cli.main(["summarize", str(log)]) == 0
         out = capsys.readouterr().out
         assert "no manifest" in out
+
+
+class TestEarlyStoppedRunObservability:
+    """Early-stop skip counters are deterministic facts, not wall-clock.
+
+    ``early_stop/skipped`` and its per-stratum children are pure
+    functions of (spec, trial prefix), so `repro-obs summarize/diff`
+    must treat them exactly like outcome counters: identical between
+    serial and parallel runs of the same spec, and a genuine divergence
+    when they differ.
+    """
+
+    STOP_SPEC = CampaignSpec(
+        network="ConvNet", dtype="FLOAT16", n_trials=200, seed=3,
+        target_halfwidth=0.18, stop_stratify="site", stop_check_every=16,
+    )
+
+    @pytest.fixture()
+    def stopped_manifests(self, tmp_path):
+        ck_a, ck_b = tmp_path / "serial.jsonl", tmp_path / "jobs2.jsonl"
+        serial = run_campaign(self.STOP_SPEC, checkpoint=ck_a)
+        assert serial.skips, "stopping spec produced no skips; weaken the target"
+        run_campaign(self.STOP_SPEC, jobs=2, checkpoint=ck_b)
+        return (default_obs_paths(ck_a)[0], default_obs_paths(ck_b)[0])
+
+    def test_skip_counters_identical_serial_vs_jobs2(self, stopped_manifests):
+        run_a, run_b = (load_run(p) for p in stopped_manifests)
+        counters = run_a["manifest"]["metrics"]["counters"]
+        assert counters["early_stop/skipped"] > 0
+        assert any(key.startswith("early_stop/skipped/") for key in counters)
+        assert obs_cli.compare_runs(run_a, run_b) == []
+
+    def test_diff_exit_zero_and_summarize_render(self, stopped_manifests, capsys):
+        manifest_a, manifest_b = stopped_manifests
+        assert obs_cli.main(["diff", str(manifest_a), str(manifest_b)]) == 0
+        capsys.readouterr()
+        assert obs_cli.main(["summarize", str(manifest_a)]) == 0
+        out = capsys.readouterr().out
+        assert "early_stop" in out or "skipped" in out
+
+    def test_tampered_skip_counter_is_fact_divergence(self, stopped_manifests):
+        run_a, _ = (load_run(p) for p in stopped_manifests)
+        tampered = json.loads(json.dumps(run_a))
+        tampered["manifest"]["metrics"]["counters"]["early_stop/skipped"] += 1
+        diverged = obs_cli.compare_runs(run_a, tampered)
+        assert any("early_stop/skipped" in line for line in diverged)
